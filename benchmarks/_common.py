@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark suite: result persistence."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a reproduced table/figure to benchmarks/results/ and echo
+    it (visible with pytest -s; always available in the file)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,57 @@
+"""T-boot -- the Section V boot sequence at increasing scale.
+
+Verifies both prototype configurations' lineage: the full 13-step
+sequence (cold reset ... load OS) completes, every designated TCC link
+trains non-coherent, and the synchronized-reset scheme holds as boards
+are added.
+"""
+
+import pytest
+
+from _common import write_result
+from repro.bench import prototype_stage_times, run_boot_scaling, table
+from repro.core import TCClusterSystem
+
+
+@pytest.fixture(scope="module")
+def stage_times():
+    return prototype_stage_times()
+
+
+def test_boot_stages_and_scaling(benchmark, stage_times):
+    stages = stage_times
+    order = [
+        "cold_reset", "coherent_enumeration", "force_noncoherent",
+        "warm_reset", "northbridge_init", "cpu_msr_init", "memory_init",
+        "exit_car", "noncoherent_enumeration", "post_init",
+    ]
+    # --- all stages ran, in order ---------------------------------------
+    assert list(stages.keys()) == order
+    times = list(stages.values())
+    assert times == sorted(times)
+
+    points = run_boot_scaling(sizes=(2, 4, 8), mesh_sizes=(2, 3))
+    # every TCC link end verified non-coherent
+    by_topo = {p.topology: p for p in points}
+    assert by_topo["chain(2)"].tcc_links_verified == 2
+    assert by_topo["chain(8)"].tcc_links_verified == 14
+    assert by_topo["mesh(2x2)"].tcc_links_verified == 8
+    assert by_topo["mesh(3x3)"].tcc_links_verified == 24
+    # boot time is dominated by the fixed per-board sequence, not N
+    assert by_topo["chain(8)"].boot_ns < by_topo["chain(2)"].boot_ns * 2
+
+    rows = [(k, f"{v / 1000:.1f}") for k, v in stages.items()]
+    txt = table(["stage", "completed at (us)"], rows,
+                title="Two-board prototype: firmware stage timeline")
+    rows2 = [(p.topology, p.supernodes, f"{p.boot_ns / 1000:.1f}",
+              p.tcc_links_verified) for p in points]
+    txt += "\n\n" + table(
+        ["topology", "supernodes", "boot us", "TCC link ends verified"],
+        rows2, title="Boot scaling")
+    write_result("boot", txt)
+
+    def kernel():
+        return TCClusterSystem.two_board_prototype().boot()
+
+    sys_ = benchmark(kernel)
+    assert sys_.cluster.ready

@@ -1,0 +1,60 @@
+"""Figure 7 -- TCCluster half-round-trip latency vs message size.
+
+Paper anchors (Section VI):
+* 227 ns for 64-byte packets,
+* below 1 us for 1 KByte messages,
+* latency grows linearly with size (wire-limited slope).
+"""
+
+import pytest
+
+from _common import write_result
+from repro.bench import (
+    make_prototype,
+    run_latency_sweep,
+    run_msglib_latency,
+    series_plot,
+    table,
+)
+
+SLOTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def fig7_points():
+    return run_msglib_latency(slot_counts=SLOTS, iters=40)
+
+
+def test_fig7_latency(benchmark, fig7_points):
+    points = fig7_points
+    by_wire = {p.wire_bytes: p.hrt_ns for p in points}
+
+    # --- shape assertions -------------------------------------------------
+    assert by_wire[64] == pytest.approx(227, rel=0.08), \
+        "64-byte packet half round trip (paper: 227 ns)"
+    assert by_wire[1024] < 1000, "paper: below 1 us for 1 KB messages"
+    hrts = [p.hrt_ns for p in points]
+    assert all(b > a for a, b in zip(hrts, hrts[1:])), "monotone in size"
+    # Asymptotic slope approaches the wire rate (~0.37 ns/B one way).
+    slope = (by_wire[64 * 64] - by_wire[16 * 64]) / (64 * 64 - 16 * 64)
+    assert 0.30 < slope < 0.55, f"wire-limited slope, got {slope:.3f} ns/B"
+
+    rows = [(p.wire_bytes, p.payload_bytes, round(p.hrt_ns, 1)) for p in points]
+    txt = table(["wire bytes", "payload", "HRT ns"], rows,
+                title="Figure 7: TCCluster latency (reproduced, msglib ping-pong)")
+    txt += "\n\n" + series_plot([p.wire_bytes for p in points], hrts,
+                                label="half round trip (ns)")
+    # Supplementary: the raw remote-store ping-pong (no library).
+    raw = run_latency_sweep(sizes=(64, 1024), iters=40)
+    txt += "\n\nraw remote-store ping-pong: " + ", ".join(
+        f"{p.size}B={p.hrt_ns:.0f}ns" for p in raw
+    )
+    write_result("fig7_latency", txt)
+
+    sys_ = make_prototype()
+
+    def kernel():
+        return run_msglib_latency(slot_counts=(1,), iters=10, system=sys_)
+
+    result = benchmark(kernel)
+    assert result[0].hrt_ns < 400

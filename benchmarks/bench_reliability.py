@@ -1,0 +1,47 @@
+"""R-retry -- fault tolerance of the link layer.
+
+Paper Section III: HyperTransport "defines fault tolerance mechanisms on
+the link level"; the prototype's cable is exactly where bit errors would
+appear ("due to signal integrity issues of our cable based approach").
+The sweep injects per-packet error rates and checks that HT3 retry keeps
+the fabric lossless while throughput degrades gracefully.
+"""
+
+import pytest
+
+from _common import write_result
+from repro.bench.ablation import run_ber_sweep
+from repro.bench import table
+
+RATES = (0.0, 0.01, 0.05, 0.2)
+
+
+@pytest.fixture(scope="module")
+def ber_points():
+    return run_ber_sweep(error_rates=RATES)
+
+
+def test_link_retry_reliability(benchmark, ber_points):
+    points = ber_points
+    # --- lossless at every error rate ------------------------------------
+    assert all(p.delivered_ok for p in points)
+    # retries scale with the error rate
+    retries = [p.retries for p in points]
+    assert retries[0] == 0
+    assert retries == sorted(retries)
+    # throughput degrades monotonically and gracefully (no collapse)
+    mbps = [p.mbps for p in points]
+    assert mbps == sorted(mbps, reverse=True)
+    assert mbps[-1] > 0.4 * mbps[0], "20% per-packet errors still >40% tput"
+
+    rows = [(f"{p.error_rate:.2f}", round(p.mbps), p.retries,
+             "yes" if p.delivered_ok else "NO") for p in points]
+    txt = table(["pkt error rate", "MB/s (1 MiB)", "retries", "lossless"],
+                rows, title="HT3 retry under injected link errors")
+    write_result("reliability", txt)
+
+    def kernel():
+        return run_ber_sweep(error_rates=(0.05,), size=64 * 1024)
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert result[0].delivered_ok

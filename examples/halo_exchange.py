@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""2D Jacobi heat diffusion with halo exchange on a TCCluster blade mesh.
+
+The workload the paper's introduction motivates: a classic HPC stencil
+kernel, decomposed over a 2x2 mesh of single-processor blades (Section
+IV.F's backplane vision), communicating boundary rows/columns through the
+mini-MPI layer each iteration and checking convergence with an allreduce.
+
+The same code pattern would run over Infiniband; here every halo byte is
+a CPU store into a neighbour's ring buffer.
+
+Run:  python examples/halo_exchange.py
+"""
+
+import numpy as np
+
+from repro import TCClusterSystem
+from repro.middleware import Communicator
+from repro.util.units import fmt_time_ns
+
+MESH = 2              # 2x2 blades
+LOCAL = 32            # local grid (without halo) per blade
+ITERS = 10
+
+
+def neighbor(rank: int, drow: int, dcol: int) -> int:
+    r, c = divmod(rank, MESH)
+    rr, cc = r + drow, c + dcol
+    if 0 <= rr < MESH and 0 <= cc < MESH:
+        return rr * MESH + cc
+    return -1
+
+
+def worker(comm: Communicator, results: dict):
+    """One blade's domain: halo exchange + Jacobi sweep + residual."""
+    rank = comm.rank
+    grid = np.zeros((LOCAL + 2, LOCAL + 2))
+    # Heat source on the global top edge.
+    if rank < MESH:
+        grid[0, :] = 100.0
+
+    up, down = neighbor(rank, -1, 0), neighbor(rank, 1, 0)
+    left, right = neighbor(rank, 0, -1), neighbor(rank, 0, 1)
+
+    for it in range(ITERS):
+        # Exchange halos (send then recv; TCC sends complete locally).
+        for peer, sl, tag in (
+            (up, grid[1, 1:-1], 1),
+            (down, grid[-2, 1:-1], 2),
+            (left, grid[1:-1, 1], 3),
+            (right, grid[1:-1, -2], 4),
+        ):
+            if peer >= 0:
+                yield from comm.send(np.ascontiguousarray(sl).tobytes(),
+                                     dest=peer, tag=tag)
+        for peer, assign, tag in (
+            (up, ("row", 0), 2),
+            (down, ("row", LOCAL + 1), 1),
+            (left, ("col", 0), 4),
+            (right, ("col", LOCAL + 1), 3),
+        ):
+            if peer >= 0:
+                raw = yield from comm.recv(source=peer, tag=tag)
+                vec = np.frombuffer(raw)
+                kind, idx = assign
+                if kind == "row":
+                    grid[idx, 1:-1] = vec
+                else:
+                    grid[1:-1, idx] = vec
+
+        new = grid.copy()
+        new[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1]
+            + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        if rank < MESH:
+            new[0, :] = 100.0
+        residual = np.array([np.abs(new - grid).max()])
+        grid = new
+        global_res = yield from comm.allreduce(residual, op="max")
+        if rank == 0:
+            results.setdefault("residuals", []).append(float(global_res[0]))
+
+    results[rank] = grid
+
+
+def main() -> None:
+    from repro.topology import mesh2d
+
+    print(f"Booting a {MESH}x{MESH} blade mesh...")
+    system = TCClusterSystem(mesh2d(MESH, MESH)).boot()
+    comms = [Communicator(system.cluster.library(r))
+             for r in range(system.nranks)]
+    results: dict = {}
+    start = system.sim.now
+    procs = [system.process(worker, c, results) for c in comms]
+    system.run_until(system.sim.all_of(procs))
+    elapsed = system.sim.now - start
+
+    print(f"  {ITERS} Jacobi iterations over {system.nranks} blades in "
+          f"{fmt_time_ns(elapsed)} (virtual)")
+    print("  residual history:",
+          " ".join(f"{r:.2f}" for r in results["residuals"]))
+    top_mean = results[0][1, 1:-1].mean()
+    bottom_mean = results[MESH * (MESH - 1)][-2, 1:-1].mean()
+    print(f"  top-blade interior row mean {top_mean:.2f} "
+          f"(heated) vs bottom {bottom_mean:.2f}")
+    assert top_mean > bottom_mean, "heat should flow downward"
+    for link in system.cluster.tcc_links:
+        st_a, st_b = link.stats("A"), link.stats("B")
+        print(f"  {link.name}: {st_a.packets + st_b.packets} packets")
+
+
+if __name__ == "__main__":
+    main()

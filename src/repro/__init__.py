@@ -1,0 +1,37 @@
+"""TCCluster reproduction: the processor host interface as a network.
+
+A full-stack simulation reproduction of
+
+    Litz, Thuermer, Bruening: "TCCluster: A Cluster Architecture Utilizing
+    the Processor Host Interface as a Network Interconnect", CLUSTER 2010.
+
+Subpackages (bottom-up):
+
+* :mod:`repro.sim` -- deterministic discrete-event engine,
+* :mod:`repro.ht` -- HyperTransport links, packets, training,
+* :mod:`repro.opteron` -- K10 node: registers, caches, WC, northbridge,
+* :mod:`repro.coherence` -- MESI/probe substrate + scaling cost model,
+* :mod:`repro.topology` -- graphs, interval-routing address assignment,
+* :mod:`repro.firmware` -- modified-coreboot boot sequence,
+* :mod:`repro.kernel` -- minimal Linux: driver, page tables, numactl,
+* :mod:`repro.msglib` -- ring-buffer message library,
+* :mod:`repro.middleware` -- mini-MPI / PGAS on top (paper outlook),
+* :mod:`repro.baselines` -- Infiniband/Ethernet NIC models,
+* :mod:`repro.cluster` -- system assembly and boot orchestration,
+* :mod:`repro.core` -- the public facade (:class:`TCClusterSystem`),
+* :mod:`repro.bench` -- harnesses regenerating the paper's figures.
+"""
+
+from .core import TCClusterSystem
+from .util.calibration import DEFAULT_IB, DEFAULT_TIMING, IBModel, TimingModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TCClusterSystem",
+    "TimingModel",
+    "DEFAULT_TIMING",
+    "IBModel",
+    "DEFAULT_IB",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Baseline interconnects: NIC-based models calibrated to published numbers."""
+
+from .fabric import NicCommProvider, NicFabric
+from .nic import NicEndpoint, NicLink, NicModelParams, params_from_model
+from .presets import ALL_BASELINES, CONNECTX_IB, GIGE, TEN_GBE
+
+__all__ = [
+    "NicLink",
+    "NicFabric",
+    "NicCommProvider",
+    "NicEndpoint",
+    "NicModelParams",
+    "params_from_model",
+    "CONNECTX_IB",
+    "TEN_GBE",
+    "GIGE",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,32 @@
+"""Calibrated baseline interconnects.
+
+* :data:`CONNECTX_IB` -- the Mellanox ConnectX Infiniband adapter, "the
+  state-of the art as it offers very good performance" (paper Section II),
+  pinned to the paper's quoted numbers: ~1.4 us latency; 200 / 1500 /
+  2500 MB/s at 64 B / 1 KB / 1 MB.
+* :data:`TEN_GBE` -- a kernel-TCP 10 GbE stack, the "traditional
+  technology ... more and more getting replaced" baseline.
+* :data:`GIGE` -- plain gigabit Ethernet for the motivation table.
+"""
+
+from __future__ import annotations
+
+from ..util.calibration import DEFAULT_IB, EthernetModel, IBModel
+from .nic import NicModelParams, params_from_model
+
+__all__ = ["CONNECTX_IB", "TEN_GBE", "GIGE", "ALL_BASELINES"]
+
+CONNECTX_IB = params_from_model(DEFAULT_IB, "ConnectX IB")
+
+TEN_GBE = params_from_model(EthernetModel(), "10GbE TCP")
+
+GIGE = NicModelParams(
+    name="GigE TCP",
+    per_message_overhead_ns=6000.0,
+    stream_bytes_per_ns=0.117,      # ~940 Mbit/s goodput
+    base_latency_ns=30000.0,        # ~30 us kernel-to-kernel
+    mtu_bytes=1500,
+    per_segment_ns=120.0,
+)
+
+ALL_BASELINES = (CONNECTX_IB, TEN_GBE, GIGE)

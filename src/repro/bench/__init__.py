@@ -1,0 +1,91 @@
+"""Benchmark harnesses that regenerate the paper's figures and tables."""
+
+from .app_bench import HaloResult, halo_worker, run_halo_comparison
+from .ablation import (
+    OrderingPoint,
+    WcAblationPoint,
+    run_ordering_ablation,
+    run_wc_ablation,
+)
+from .boot_bench import BootPoint, prototype_stage_times, run_boot_scaling
+from .coherence_bench import (
+    CoherenceScalePoint,
+    run_coherence_scaling,
+    tcc_op_latency_ns,
+)
+from .futures import (
+    BufferSweepPoint,
+    FUTURE_RATES,
+    LinkSpeedPoint,
+    run_link_speed_sweep,
+    run_posted_buffer_sweep,
+)
+from .compare_bench import (
+    ComparisonRow,
+    run_baseline_comparison,
+    run_nic_des_bandwidth,
+    run_nic_des_latency,
+)
+from .microbench import (
+    DEFAULT_BW_SIZES,
+    DEFAULT_LAT_SIZES,
+    BandwidthPoint,
+    HopPoint,
+    LatencyPoint,
+    make_prototype,
+    run_bandwidth_sweep,
+    run_latency_sweep,
+    run_multihop,
+)
+from .msglib_bench import (
+    EndpointFootprint,
+    FanInPoint,
+    MsglibLatencyPoint,
+    endpoint_footprint_table,
+    run_fan_in,
+    run_msglib_latency,
+)
+from .reporting import header, series_plot, table
+
+__all__ = [
+    "BandwidthPoint",
+    "LatencyPoint",
+    "HopPoint",
+    "run_bandwidth_sweep",
+    "run_latency_sweep",
+    "run_multihop",
+    "make_prototype",
+    "DEFAULT_BW_SIZES",
+    "DEFAULT_LAT_SIZES",
+    "MsglibLatencyPoint",
+    "EndpointFootprint",
+    "FanInPoint",
+    "run_msglib_latency",
+    "endpoint_footprint_table",
+    "run_fan_in",
+    "WcAblationPoint",
+    "OrderingPoint",
+    "run_wc_ablation",
+    "run_ordering_ablation",
+    "CoherenceScalePoint",
+    "run_coherence_scaling",
+    "tcc_op_latency_ns",
+    "ComparisonRow",
+    "run_baseline_comparison",
+    "run_nic_des_bandwidth",
+    "run_nic_des_latency",
+    "BootPoint",
+    "run_boot_scaling",
+    "prototype_stage_times",
+    "LinkSpeedPoint",
+    "BufferSweepPoint",
+    "FUTURE_RATES",
+    "run_link_speed_sweep",
+    "run_posted_buffer_sweep",
+    "table",
+    "series_plot",
+    "header",
+    "HaloResult",
+    "run_halo_comparison",
+    "halo_worker",
+]

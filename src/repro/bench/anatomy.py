@@ -1,0 +1,113 @@
+"""Anatomy of one TCCluster message: per-stage latency decomposition.
+
+Sends a single 64-byte line across the idle prototype with tracing
+enabled and attributes every nanosecond of the one-way trip to a pipeline
+stage -- the breakdown behind the paper's headline 227 ns:
+
+    software entry -> stores retired -> wire (serialization + flight)
+    -> remote northbridge/IO bridge -> DRAM write -> polling detection
+
+Useful both as documentation (where does the time actually go?) and as a
+regression anchor: if a refactor silently adds a pipeline stage, the
+stage table moves even when the headline number happens to compensate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim import Tracer
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+from .microbench import _RawWindow, make_prototype
+
+__all__ = ["Stage", "MessageAnatomy", "run_latency_anatomy"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    name: str
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class MessageAnatomy:
+    stages: List[Stage]
+    total_ns: float
+
+    def as_rows(self):
+        return [(s.name, round(s.start_ns, 2), round(s.end_ns, 2),
+                 round(s.duration_ns, 2)) for s in self.stages]
+
+
+def run_latency_anatomy(timing: TimingModel = DEFAULT_TIMING) -> MessageAnatomy:
+    """Trace one 64-byte store+detect round on an idle prototype."""
+    sys_ = make_prototype(timing)
+    cluster = sys_.cluster
+    a = cluster.rank_of(0, 1)
+    b = cluster.rank_of(1, 1)
+    win_a = _RawWindow(cluster, a, b)
+    sim = cluster.sim
+
+    tracer = Tracer()
+    link = cluster.tcc_links[0]
+    link.tracer = tracer
+    rx_chip = cluster.ranks[b].chip
+    rx_chip.memctrl.tracer = tracer
+
+    marks: Dict[str, float] = {}
+    line = b"\xA5" * 64
+
+    def sender():
+        marks["t0_entry"] = sim.now
+        yield sim.timeout(timing.send_overhead_ns)
+        yield from win_a.proc.store(win_a.tx_mailbox, line)
+        yield from win_a.proc.sfence()
+        marks["t1_retired"] = sim.now
+
+    def receiver():
+        proc = cluster.spawn_process(b, name="anatomy-rx")
+        # Reuse the exporting driver mapping made by win_b-style setup:
+        drv = cluster.kernels[cluster.ranks[b].supernode].driver_for(
+            cluster.ranks[b].chip_index)
+        drv.mmap_local_export(proc.pagetable,
+                              cluster.ranks[b].base + 48 * 1024 * 1024,
+                              4096, tag="anatomy-mbox")
+        while True:
+            data = yield from proc.load(
+                cluster.ranks[b].base + 48 * 1024 * 1024, 8)
+            if data != b"\x00" * 8:
+                marks["t5_detected"] = sim.now
+                return
+            yield sim.timeout(timing.poll_iteration_ns)
+
+    rx = sim.process(receiver())
+    sim.process(sender())
+    sim.run_until_event(rx)
+
+    tx_times = [r.time for r in tracer.records
+                if r.event == "tx" and r.component == link.name]
+    rx_times = [r.time for r in tracer.records
+                if r.event == "rx" and r.component == link.name]
+    wr_times = [r.time for r in tracer.records if r.event == "write_done"]
+    if not (tx_times and rx_times and wr_times):
+        raise RuntimeError("tracing did not capture the expected events")
+
+    t0 = marks["t0_entry"]
+    stages = [
+        Stage("software entry + WC fill + sfence drain", 0.0,
+              marks["t1_retired"] - t0),
+        Stage("sender NB + IO bridge + serialization",
+              marks["t1_retired"] - t0, tx_times[0] - t0),
+        Stage("cable flight", tx_times[0] - t0, rx_times[0] - t0),
+        Stage("receiver NB + IO bridge + DRAM write",
+              rx_times[0] - t0, wr_times[0] - t0),
+        Stage("polling detection (UC load)", wr_times[0] - t0,
+              marks["t5_detected"] - t0),
+    ]
+    return MessageAnatomy(stages, marks["t5_detected"] - t0)

@@ -1,0 +1,128 @@
+"""Application-level comparison: the same MPI kernel on TCC vs NIC.
+
+The paper's outlook ("This will enable to run more complex applications
+on the TCCluster system and to benchmark their performance") realized: a
+2-D Jacobi halo exchange -- the canonical latency-sensitive HPC
+communication pattern -- runs unchanged over
+
+* the TCCluster blade mesh (message library transport), and
+* an idealized full-mesh NIC fabric (ConnectX / Ethernet models),
+
+and we compare virtual makespans.  Halo messages are small (a few hundred
+bytes) and every iteration ends in an allreduce, so the per-message
+initiation cost is what dominates -- exactly where TCCluster wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..baselines import CONNECTX_IB, NicModelParams, TEN_GBE
+from ..baselines.fabric import NicFabric
+from ..core import TCClusterSystem
+from ..middleware import Communicator
+from ..sim import Simulator
+from ..topology import mesh2d
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+
+__all__ = ["HaloResult", "run_halo_comparison", "halo_worker"]
+
+MESH = 2
+LOCAL = 16
+ITERS = 5
+
+
+@dataclass(frozen=True)
+class HaloResult:
+    fabric: str
+    iterations: int
+    makespan_ns: float
+    per_iter_ns: float
+    final_residual: float
+
+
+def _neighbor(rank: int, drow: int, dcol: int) -> int:
+    r, c = divmod(rank, MESH)
+    rr, cc = r + drow, c + dcol
+    if 0 <= rr < MESH and 0 <= cc < MESH:
+        return rr * MESH + cc
+    return -1
+
+
+def halo_worker(comm: Communicator, results: dict, iters: int = ITERS):
+    """One rank of the Jacobi kernel (transport-agnostic)."""
+    rank = comm.rank
+    grid = np.zeros((LOCAL + 2, LOCAL + 2))
+    if rank < MESH:
+        grid[0, :] = 100.0
+    up, down = _neighbor(rank, -1, 0), _neighbor(rank, 1, 0)
+    left, right = _neighbor(rank, 0, -1), _neighbor(rank, 0, 1)
+    residual = 0.0
+    for _ in range(iters):
+        for peer, sl, tag in (
+            (up, grid[1, 1:-1], 1), (down, grid[-2, 1:-1], 2),
+            (left, grid[1:-1, 1], 3), (right, grid[1:-1, -2], 4),
+        ):
+            if peer >= 0:
+                yield from comm.send(np.ascontiguousarray(sl).tobytes(),
+                                     dest=peer, tag=tag)
+        for peer, assign, tag in (
+            (up, ("row", 0), 2), (down, ("row", LOCAL + 1), 1),
+            (left, ("col", 0), 4), (right, ("col", LOCAL + 1), 3),
+        ):
+            if peer >= 0:
+                raw = yield from comm.recv(source=peer, tag=tag)
+                vec = np.frombuffer(raw)
+                kind, idx = assign
+                if kind == "row":
+                    grid[idx, 1:-1] = vec
+                else:
+                    grid[1:-1, idx] = vec
+        new = grid.copy()
+        new[1:-1, 1:-1] = 0.25 * (grid[:-2, 1:-1] + grid[2:, 1:-1]
+                                  + grid[1:-1, :-2] + grid[1:-1, 2:])
+        if rank < MESH:
+            new[0, :] = 100.0
+        local_res = np.array([np.abs(new - grid).max()])
+        grid = new
+        global_res = yield from comm.allreduce(local_res, op="max")
+        residual = float(global_res[0])
+    results[rank] = residual
+
+
+def _run_kernel(sim: Simulator, comms: Sequence[Communicator],
+                iters: int) -> tuple:
+    results: dict = {}
+    start = sim.now
+    procs = [sim.process(halo_worker(c, results, iters)) for c in comms]
+    sim.run_until_event(sim.all_of(procs))
+    return sim.now - start, results
+
+
+def run_halo_comparison(
+    iters: int = ITERS,
+    nic_params: Sequence[NicModelParams] = (CONNECTX_IB, TEN_GBE),
+    timing: TimingModel = DEFAULT_TIMING,
+) -> List[HaloResult]:
+    """Run the identical kernel over TCC and each NIC baseline."""
+    out: List[HaloResult] = []
+    # TCCluster blade mesh.
+    sys_ = TCClusterSystem(mesh2d(MESH, MESH), timing=timing).boot()
+    comms = [Communicator(sys_.cluster.library(r))
+             for r in range(sys_.nranks)]
+    elapsed, results = _run_kernel(sys_.sim, comms, iters)
+    out.append(HaloResult("TCCluster", iters, elapsed, elapsed / iters,
+                          results[0]))
+    # NIC fabrics (same kernel, same ranks).
+    for params in nic_params:
+        sim = Simulator()
+        fabric = NicFabric(sim, MESH * MESH, params)
+        ncomms = [Communicator(fabric.comm_provider(r))
+                  for r in range(MESH * MESH)]
+        elapsed, results = _run_kernel(sim, ncomms, iters)
+        out.append(HaloResult(params.name, iters, elapsed, elapsed / iters,
+                              results[0]))
+    return out

@@ -1,0 +1,48 @@
+"""Boot benchmark (T-boot): the Section V sequence, end to end.
+
+Boots clusters of increasing size and reports per-stage firmware timing
+plus total time-to-OS, validating that the synchronized-reset scheme and
+the 13-step sequence hold up beyond the two-board prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import TCClusterSystem
+from ..topology import chain, mesh2d
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+
+__all__ = ["BootPoint", "run_boot_scaling", "prototype_stage_times"]
+
+
+@dataclass(frozen=True)
+class BootPoint:
+    supernodes: int
+    topology: str
+    boot_ns: float
+    tcc_links_verified: int
+
+
+def prototype_stage_times(timing: TimingModel = DEFAULT_TIMING) -> Dict[str, float]:
+    """Per-stage completion times of board 0 of the two-board prototype."""
+    sys_ = TCClusterSystem.two_board_prototype(timing=timing).boot()
+    return dict(sys_.cluster.reports[0].stage_times)
+
+
+def run_boot_scaling(
+    sizes: Sequence[int] = (2, 4, 8),
+    mesh_sizes: Sequence[int] = (2, 3),
+    timing: TimingModel = DEFAULT_TIMING,
+) -> List[BootPoint]:
+    points: List[BootPoint] = []
+    for n in sizes:
+        sys_ = TCClusterSystem(chain(n), timing=timing).boot()
+        verified = sum(r.tcc_links_verified for r in sys_.cluster.reports)
+        points.append(BootPoint(n, f"chain({n})", sys_.sim.now, verified))
+    for m in mesh_sizes:
+        sys_ = TCClusterSystem.blade_mesh(m, m, timing=timing).boot()
+        verified = sum(r.tcc_links_verified for r in sys_.cluster.reports)
+        points.append(BootPoint(m * m, f"mesh({m}x{m})", sys_.sim.now, verified))
+    return points

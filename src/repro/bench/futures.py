@@ -1,0 +1,93 @@
+"""Forward-looking sweeps the paper sketches but could not measure.
+
+* :func:`run_link_speed_sweep` -- Section VI: "Although, the processors
+  support 16 bit wide links with up to 5.2 Gbit/s per lane, due to signal
+  integrity issues of our cable based approach we support only
+  frequencies of up to 1.6 Gbit/s ... Future implementations that offer
+  better cabling or routing the TCCluster links over a backplane will
+  support higher frequencies and increased performance."  We sweep the
+  link rate from the cable-limited HT800 up to the silicon's HT2600.
+
+* :func:`run_posted_buffer_sweep` -- sensitivity of the Figure 6 peak to
+  the calibrated posted-write buffering (DESIGN.md's declared calibration
+  knob): the peak's position tracks the buffer capacity, its height stays
+  at the WC issue rate, and the sustained tail never moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+from ..util.units import KiB, MiB
+from .microbench import make_prototype, run_bandwidth_sweep
+from .msglib_bench import run_msglib_latency
+
+__all__ = ["LinkSpeedPoint", "BufferSweepPoint", "run_link_speed_sweep",
+           "run_posted_buffer_sweep", "FUTURE_RATES"]
+
+#: (label, Gbit/s per lane): the prototype cable, mid HT3, full silicon.
+FUTURE_RATES: Tuple[Tuple[str, float], ...] = (
+    ("HT800 cable (paper)", 1.6),
+    ("HT1800 backplane", 3.6),
+    ("HT2600 silicon max", 5.2),
+)
+
+
+@dataclass(frozen=True)
+class LinkSpeedPoint:
+    label: str
+    gbit_per_lane: float
+    sustained_mbps: float       # 4 MiB weakly-ordered stream
+    small_mbps: float           # 64 B message rate
+    latency_ns: float           # 64-byte-packet half round trip
+
+
+@dataclass(frozen=True)
+class BufferSweepPoint:
+    buffer_packets: int
+    buffer_bytes: int
+    peak_mbps: float
+    peak_at_bytes: int
+    sustained_mbps: float
+
+
+def run_link_speed_sweep(
+    rates: Sequence[Tuple[str, float]] = FUTURE_RATES,
+    timing: TimingModel = DEFAULT_TIMING,
+) -> List[LinkSpeedPoint]:
+    points: List[LinkSpeedPoint] = []
+    for label, gbit in rates:
+        t = timing.scaled(link_gbit_per_lane=gbit)
+        sys_ = make_prototype(t)
+        bw = run_bandwidth_sweep(sizes=(64, 4 * MiB), modes=("weak",),
+                                 system=sys_, timing=t)
+        lat = run_msglib_latency(slot_counts=(1,), iters=20, system=sys_,
+                                 timing=t)
+        by_size = {p.size: p.mbps for p in bw}
+        points.append(
+            LinkSpeedPoint(label, gbit, by_size[4 * MiB], by_size[64],
+                           lat[0].hrt_ns)
+        )
+    return points
+
+
+def run_posted_buffer_sweep(
+    buffer_packets: Sequence[int] = (512, 1024, 2048, 4096),
+    timing: TimingModel = DEFAULT_TIMING,
+) -> List[BufferSweepPoint]:
+    sizes = tuple(1 << i for i in range(12, 23))  # 4 KiB .. 4 MiB
+    points: List[BufferSweepPoint] = []
+    for n in buffer_packets:
+        t = timing.scaled(posted_buffer_packets=n)
+        sys_ = make_prototype(t)
+        pts = run_bandwidth_sweep(sizes=sizes, modes=("weak",),
+                                  system=sys_, timing=t)
+        by_size = {p.size: p.mbps for p in pts}
+        peak_size = max(by_size, key=by_size.get)
+        points.append(
+            BufferSweepPoint(n, n * 64, by_size[peak_size], peak_size,
+                             by_size[sizes[-1]])
+        )
+    return points

@@ -1,0 +1,96 @@
+"""MPI-middleware overhead (OSU-style ping-pong at two layers).
+
+Paper Section VI, comparing against Infiniband *MPI* numbers: "Although,
+our evaluation does not include the overhead of the MPI middleware it can
+be seen that TCCluster provides a significant performance edge".  This
+harness measures that conceded overhead: the same ping-pong through the
+raw message library and through the mini-MPI layer (envelope packing, tag
+matching, unexpected-queue checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import TCClusterSystem
+from ..middleware import Communicator
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+from .microbench import make_prototype
+
+__all__ = ["MpiOverheadPoint", "run_mpi_overhead"]
+
+
+@dataclass(frozen=True)
+class MpiOverheadPoint:
+    payload: int
+    msglib_hrt_ns: float
+    mpi_hrt_ns: float
+
+    @property
+    def overhead_ns(self) -> float:
+        return self.mpi_hrt_ns - self.msglib_hrt_ns
+
+    @property
+    def overhead_pct(self) -> float:
+        return 100.0 * self.overhead_ns / self.msglib_hrt_ns
+
+
+def run_mpi_overhead(
+    payloads: Sequence[int] = (48, 512, 4096),
+    iters: int = 30,
+    timing: TimingModel = DEFAULT_TIMING,
+    system: Optional[TCClusterSystem] = None,
+) -> List[MpiOverheadPoint]:
+    sys_ = system or make_prototype(timing)
+    cluster = sys_.cluster
+    a = cluster.rank_of(0, 1)
+    b = cluster.rank_of(1, 1)
+    ep_ab, ep_ba = sys_.connect(a, b)
+    comm_a = Communicator(cluster.library(a))
+    comm_b = Communicator(cluster.library(b))
+    sim = sys_.sim
+    points: List[MpiOverheadPoint] = []
+
+    for payload in payloads:
+        msg = bytes(payload)
+        out: Dict[str, float] = {}
+
+        # Raw message-library ping-pong.
+        def raw_echo(n=iters):
+            for _ in range(n):
+                data = yield from ep_ba.recv()
+                yield from ep_ba.send(data)
+                yield from ep_ba.flush()
+
+        def raw_ping(n=iters):
+            start = sim.now
+            for _ in range(n):
+                yield from ep_ab.send(msg)
+                yield from ep_ab.flush()
+                yield from ep_ab.recv()
+            out["raw"] = (sim.now - start) / (2 * n)
+
+        sim.process(raw_echo())
+        done = sim.process(raw_ping())
+        sim.run_until_event(done)
+
+        # MPI-level ping-pong (envelope + tag matching on the same path).
+        def mpi_echo(n=iters):
+            for _ in range(n):
+                data = yield from comm_b.recv(source=a, tag=9)
+                yield from comm_b.send(data, dest=a, tag=9)
+
+        def mpi_ping(n=iters):
+            start = sim.now
+            for _ in range(n):
+                yield from comm_a.send(msg, dest=b, tag=9)
+                yield from comm_a.recv(source=b, tag=9)
+            out["mpi"] = (sim.now - start) / (2 * n)
+
+        sim.process(mpi_echo())
+        done = sim.process(mpi_ping())
+        sim.run_until_event(done)
+
+        points.append(MpiOverheadPoint(payload, out["raw"], out["mpi"]))
+    return points

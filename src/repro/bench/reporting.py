@@ -1,0 +1,58 @@
+"""Plain-text reporting: aligned tables and ASCII series for the figures.
+
+The harness prints the same rows/series the paper reports; EXPERIMENTS.md
+records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["table", "series_plot", "header"]
+
+
+def header(title: str) -> str:
+    bar = "=" * len(title)
+    return f"{bar}\n{title}\n{bar}"
+
+
+def table(columns: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render an aligned text table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def series_plot(xs: Sequence, ys: Sequence[float], width: int = 56,
+                label: str = "", log_x: bool = True) -> str:
+    """A crude ASCII rendition of one figure series (bar per point)."""
+    if not ys:
+        return "(empty series)"
+    peak = max(ys)
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(width * y / peak))) if peak > 0 else ""
+        lines.append(f"{str(x):>8} | {bar} {y:,.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""The paper's two proof-of-concept configurations (Section V).
+
+* :func:`build_single_board_prototype` -- "The first consists of a single
+  Tyan S2912E mainboard ... we configured one of the HT links between the
+  processors as a TCCluster link and the other as a regular coherent HT
+  link.  The coherent link allowed us to access the Node1 from BIOS
+  firmware ... and to check whether our approach actually works and
+  whether we can successfully transfer data over the TCCluster link."
+
+  Address-map construction for the loopback: node0 maps an *alias window*
+  [512M, 768M) as MMIO out of its TCC port; node1 maps the same window as
+  part of its local DRAM (a second 256 MiB behind its real slice).  A
+  store from node0 into the alias thus loops over the TCC link and lands
+  in node1's memory, where node1's cores (or the coherent fabric) can
+  verify it.
+
+* The second prototype (two boards + HTX cable) is
+  :meth:`repro.core.TCClusterSystem.two_board_prototype`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..firmware import Board, BoardLayout, BoardPlan, TCClusterFirmware
+from ..opteron import OpteronChip, wire_link
+from ..sim import Barrier, Simulator
+from ..topology.address_assignment import DramDirective, MmioDirective, NodeMapPlan
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+from ..util.units import MiB
+
+__all__ = ["SingleBoardPrototype", "build_single_board_prototype",
+           "TYAN_S2912E_DUAL"]
+
+M256 = 256 * MiB
+
+#: The Tyan board with *both* inter-socket links wired: port 3 stays
+#: coherent, port 2 becomes the TCC loopback.
+TYAN_S2912E_DUAL = BoardLayout(
+    num_chips=2,
+    coherent_edges=((0, 3, 1, 3), (0, 2, 1, 2)),
+    sb_attach=(0, 1),
+)
+
+
+@dataclass
+class SingleBoardPrototype:
+    """The booted single-board configuration."""
+
+    sim: Simulator
+    board: Board
+    firmware: TCClusterFirmware
+    #: the TCC loopback window as node0 sees it (MMIO alias)
+    alias_base: int
+    alias_limit: int
+    #: same cells as node1 sees them (its local DRAM)
+    ready: bool = False
+
+    @property
+    def node0(self) -> OpteronChip:
+        return self.board.chips[0]
+
+    @property
+    def node1(self) -> OpteronChip:
+        return self.board.chips[1]
+
+    @property
+    def tcc_link(self):
+        return self.board.chips[0].ports[2].link
+
+    @property
+    def coherent_link(self):
+        return self.board.chips[0].ports[3].link
+
+    def boot(self) -> "SingleBoardPrototype":
+        if self.ready:
+            return self
+        proc = self.sim.process(self.firmware.boot())
+        self.sim.run_until_event(proc)
+        self.ready = True
+        return self
+
+
+def build_single_board_prototype(
+    sim: Optional[Simulator] = None,
+    timing: TimingModel = DEFAULT_TIMING,
+) -> SingleBoardPrototype:
+    """Construct (unbooted) the paper's first prototype.
+
+    Global map: node0 DRAM [0, 256M); node1 DRAM [256M, 768M) backed by
+    512 MiB of physical memory; node0 additionally maps [512M, 768M) as
+    the TCC alias window exiting port 2.
+    """
+    sim = sim or Simulator()
+    board = Board(sim, "tyan", layout=TYAN_S2912E_DUAL, memory_bytes=M256,
+                  timing=timing)
+    # Node1 carries the extra 256 MiB the alias window lands in.
+    board.chips[1].memory.size = 2 * M256  # grown before any allocation
+    alias_base, alias_limit = 2 * M256, 3 * M256
+
+    node0_plan = NodeMapPlan(
+        supernode=0, node=0,
+        dram=[DramDirective(0, M256, 0), DramDirective(M256, 2 * M256, 1)],
+        mmio=[MmioDirective(alias_base, alias_limit, exit_node=0, exit_port=2)],
+    )
+    node1_plan = NodeMapPlan(
+        supernode=0, node=1,
+        dram=[DramDirective(0, M256, 0), DramDirective(M256, 3 * M256, 1)],
+        mmio=[],
+    )
+    plan = BoardPlan(
+        rank=0,
+        node_plans=[node0_plan, node1_plan],
+        # Both ends of the loopback link live on this board.
+        tcc_ports=[(0, 2), (1, 2)],
+        link_width=timing.link_width_bits,
+        gbit_per_lane=timing.link_gbit_per_lane,
+    )
+    rail = Barrier(sim, parties=1, name="sb-rail")
+    fw = TCClusterFirmware(board, plan, rail)
+    return SingleBoardPrototype(sim, board, fw, alias_base, alias_limit)

@@ -1,0 +1,222 @@
+"""Cluster assembly: boards + TCC links + firmware + OS, booted end to end.
+
+:class:`TCCluster` is the builder the examples and benchmarks use:
+
+1. compute the global address map for the requested topology
+   (:mod:`repro.topology.address_assignment`),
+2. instantiate one :class:`~repro.firmware.board.Board` per supernode and
+   wire the TCC links between the (node, port) endpoints the topology
+   names,
+3. run every board's :class:`~repro.firmware.boot.TCClusterFirmware`
+   concurrently, synchronized on the shared reset rail,
+4. boot a custom-kernel :class:`~repro.kernel.linux.Kernel` per board and
+   instantiate the tccluster driver on every chip,
+5. hand out :class:`~repro.msglib.library.MessageLibrary` instances per
+   *rank* (global chip index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..firmware import (
+    Board,
+    BoardLayout,
+    BoardPlan,
+    BootReport,
+    TCClusterFirmware,
+    TYAN_S2912E,
+    single_chip_layout,
+)
+from ..kernel import Kernel, UserProcess
+from ..msglib import MessageLibrary, MsgConfig
+from ..opteron import OpteronChip, wire_link
+from ..sim import Barrier, Simulator
+from ..topology import ClusterTopology, GlobalAddressMap, NodeSpec, SupernodeSpec, assign_addresses
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+from ..util.units import MiB
+
+__all__ = ["TCCluster", "ClusterError", "default_layout"]
+
+
+class ClusterError(RuntimeError):
+    """Cluster construction or boot failure."""
+
+
+def default_layout(nodes_per_supernode: int) -> BoardLayout:
+    """Board layout for n chips: the Tyan board for 2, headless single
+    blade for 1, a coherent chain otherwise."""
+    if nodes_per_supernode == 1:
+        return single_chip_layout(None)
+    if nodes_per_supernode == 2:
+        return TYAN_S2912E
+    edges = tuple(
+        (i, 2, i + 1, 3) for i in range(nodes_per_supernode - 1)
+    )
+    return BoardLayout(nodes_per_supernode, edges, sb_attach=(0, 0))
+
+
+@dataclass
+class RankInfo:
+    rank: int
+    supernode: int
+    chip_index: int
+    chip: OpteronChip
+    base: int
+    limit: int
+
+
+class TCCluster:
+    """A full TCCluster instance inside one simulator."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        memory_bytes: int = 256 * MiB,
+        nodes_per_supernode: int = 1,
+        timing: TimingModel = DEFAULT_TIMING,
+        msg_cfg: Optional[MsgConfig] = None,
+        layout: Optional[BoardLayout] = None,
+        link_ber: float = 0.0,
+        skew_tolerance_ns: float = 100.0,
+        sim: Optional[Simulator] = None,
+    ):
+        self.sim = sim or Simulator()
+        self.topology = topology
+        self.timing = timing
+        self.msg_cfg = msg_cfg or MsgConfig()
+        layout = layout or default_layout(nodes_per_supernode)
+        if layout.num_chips != nodes_per_supernode:
+            raise ClusterError("layout chip count mismatch")
+
+        spec = SupernodeSpec(tuple(NodeSpec(memory_bytes)
+                                   for _ in range(nodes_per_supernode)))
+        self.amap: GlobalAddressMap = assign_addresses(
+            topology, [spec] * topology.num_supernodes
+        )
+
+        # Boards.
+        self.boards: List[Board] = [
+            Board(self.sim, f"b{s}", layout=layout, memory_bytes=memory_bytes,
+                  timing=timing, skew_tolerance_ns=skew_tolerance_ns)
+            for s in range(topology.num_supernodes)
+        ]
+
+        # TCC links between boards.
+        self.tcc_links = []
+        for e in topology.edges:
+            la = self.boards[e.a.supernode].chips[e.a.node]
+            lb = self.boards[e.b.supernode].chips[e.b.node]
+            link = wire_link(
+                self.sim, la, e.a.port, lb, e.b.port,
+                name=f"tcc{e.a.supernode}.{e.a.node}p{e.a.port}--"
+                     f"{e.b.supernode}.{e.b.node}p{e.b.port}",
+                timing=timing, ber=link_ber,
+                skew_tolerance_ns=skew_tolerance_ns,
+            )
+            self.tcc_links.append(link)
+
+        # Firmware plans.
+        self.reset_rail = Barrier(self.sim, parties=len(self.boards),
+                                  name="reset-rail")
+        self.firmwares: List[TCClusterFirmware] = []
+        for s, board in enumerate(self.boards):
+            tcc_ports = [
+                (e.end_at(s).node, e.end_at(s).port)
+                for e in topology.edges
+                if s in (e.a.supernode, e.b.supernode)
+            ]
+            plan = BoardPlan(
+                rank=s,
+                node_plans=[self.amap.plan_for(s, ci)
+                            for ci in range(len(board.chips))],
+                tcc_ports=tcc_ports,
+                link_width=timing.link_width_bits,
+                gbit_per_lane=timing.link_gbit_per_lane,
+            )
+            self.firmwares.append(TCClusterFirmware(board, plan, self.reset_rail))
+
+        # Ranks: one per chip, in (supernode, chip) order.
+        self.ranks: List[RankInfo] = []
+        for s, board in enumerate(self.boards):
+            for ci, chip in enumerate(board.chips):
+                base, limit = self.amap.node_range(s, ci)
+                self.ranks.append(
+                    RankInfo(len(self.ranks), s, ci, chip, base, limit)
+                )
+
+        self.reports: List[BootReport] = []
+        self.kernels: List[Kernel] = []
+        self._libs: Dict[int, MessageLibrary] = {}
+        self.ready = False
+
+    # ------------------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return len(self.ranks)
+
+    def rank_of(self, supernode: int, chip_index: int = 0) -> int:
+        for r in self.ranks:
+            if r.supernode == supernode and r.chip_index == chip_index:
+                return r.rank
+        raise ClusterError(f"no rank for supernode {supernode} chip {chip_index}")
+
+    def rank_ranges(self) -> List[Tuple[int, int]]:
+        return [(r.base, r.limit) for r in self.ranks]
+
+    # ------------------------------------------------------------------
+    def boot(self) -> "TCCluster":
+        """Run firmware + OS boot to completion (advances the simulator)."""
+        if self.ready:
+            return self
+        fw_procs = [self.sim.process(fw.boot(), name=f"fw{b}")
+                    for b, fw in enumerate(self.firmwares)]
+        self.sim.run_until_event(self.sim.all_of(fw_procs))
+        self.reports = [p.value for p in fw_procs]
+
+        gb, gl = self.amap.base, self.amap.limit
+        k_procs = []
+        for s, board in enumerate(self.boards):
+            kernel = Kernel(board, self.reports[s], custom=True)
+            node_ranges = {
+                ci: self.amap.node_range(s, ci)
+                for ci in range(len(board.chips))
+            }
+            self.kernels.append(kernel)
+            k_procs.append(
+                self.sim.process(kernel.boot(gb, gl, node_ranges), name=f"os{s}")
+            )
+        self.sim.run_until_event(self.sim.all_of(k_procs))
+        self.ready = True
+        return self
+
+    # ------------------------------------------------------------------
+    def spawn_process(self, rank: int, name: Optional[str] = None,
+                      core_index: int = 0) -> UserProcess:
+        self._require_ready()
+        info = self.ranks[rank]
+        kernel = self.kernels[info.supernode]
+        return kernel.spawn(name or f"proc-r{rank}",
+                            chip_index=info.chip_index, core_index=core_index)
+
+    def library(self, rank: int, proc: Optional[UserProcess] = None,
+                core_index: int = 0) -> MessageLibrary:
+        """The message library of ``rank`` (created on first use)."""
+        self._require_ready()
+        lib = self._libs.get(rank)
+        if lib is not None:
+            return lib
+        info = self.ranks[rank]
+        proc = proc or self.spawn_process(rank, core_index=core_index)
+        driver = self.kernels[info.supernode].driver_for(info.chip_index)
+        lib = MessageLibrary(proc, driver, rank, self.rank_ranges(), self.msg_cfg)
+        self._libs[rank] = lib
+        return lib
+
+    def _require_ready(self) -> None:
+        if not self.ready:
+            raise ClusterError("call boot() first")
+
+    def run(self, *args, **kwargs):
+        return self.sim.run(*args, **kwargs)

@@ -1,0 +1,31 @@
+"""Cache-coherence substrate: MESI, probe cost models, shared memory."""
+
+from .mesi import (
+    Action,
+    ProtocolError,
+    State,
+    Transition,
+    check_line_invariant,
+    local_read,
+    local_write,
+    probe_invalidate,
+    probe_shared,
+    read_fill_state,
+)
+from .system import CoherenceStats, CoherentNode, CoherentSystem
+
+__all__ = [
+    "State",
+    "Action",
+    "Transition",
+    "ProtocolError",
+    "local_read",
+    "local_write",
+    "probe_shared",
+    "probe_invalidate",
+    "read_fill_state",
+    "check_line_invariant",
+    "CoherentSystem",
+    "CoherentNode",
+    "CoherenceStats",
+]

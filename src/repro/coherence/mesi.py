@@ -1,0 +1,117 @@
+"""The MESI cache-coherence protocol (state machine, pure logic).
+
+Paper Section I/III: "This requires a cache coherency mechanism [5] like
+MESI which guarantees data consistency in the system at all times.  While
+such a coherency model facilitates programmability of shared memory
+systems it dramatically limits their scalability."
+
+This module is the protocol itself -- deterministic transition tables used
+by :mod:`repro.coherence.system` -- with the four states and the probe
+actions each transition requires.  Keeping it pure makes the invariants
+(single writer, no stale sharers) directly property-testable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+__all__ = ["State", "Action", "Transition", "local_read", "local_write",
+           "probe_shared", "probe_invalidate", "ProtocolError",
+           "check_line_invariant"]
+
+
+class ProtocolError(RuntimeError):
+    """Illegal MESI transition -- indicates a protocol bug."""
+
+
+class State(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class Action(enum.Enum):
+    """What the requesting node must do on the fabric."""
+
+    NONE = "none"                      # pure cache hit
+    FETCH = "fetch"                    # read miss: probe + fill
+    FETCH_EXCLUSIVE = "rfo"            # write miss: probe-invalidate + fill
+    UPGRADE = "upgrade"                # S->M: invalidate other sharers
+    WRITEBACK = "writeback"            # dirty data supplied / flushed
+
+
+@dataclass(frozen=True)
+class Transition:
+    new_state: State
+    action: Action
+
+
+# -- requester-side transitions ------------------------------------------------
+
+_READ: Dict[State, Transition] = {
+    State.MODIFIED: Transition(State.MODIFIED, Action.NONE),
+    State.EXCLUSIVE: Transition(State.EXCLUSIVE, Action.NONE),
+    State.SHARED: Transition(State.SHARED, Action.NONE),
+    State.INVALID: Transition(State.SHARED, Action.FETCH),
+}
+
+_WRITE: Dict[State, Transition] = {
+    State.MODIFIED: Transition(State.MODIFIED, Action.NONE),
+    State.EXCLUSIVE: Transition(State.MODIFIED, Action.NONE),  # silent upgrade
+    State.SHARED: Transition(State.MODIFIED, Action.UPGRADE),
+    State.INVALID: Transition(State.MODIFIED, Action.FETCH_EXCLUSIVE),
+}
+
+
+def local_read(state: State) -> Transition:
+    """The requester reads a line it holds in ``state``."""
+    return _READ[state]
+
+
+def local_write(state: State) -> Transition:
+    """The requester writes a line it holds in ``state``."""
+    return _WRITE[state]
+
+
+def read_fill_state(any_other_sharer: bool) -> State:
+    """State a read miss fills to: E if nobody else holds it, else S."""
+    return State.SHARED if any_other_sharer else State.EXCLUSIVE
+
+
+# -- remote-side (probe) transitions ----------------------------------------------
+
+def probe_shared(state: State) -> Tuple[State, bool]:
+    """A read probe hits a remote cache.
+
+    Returns (new_state, supplies_data): an M holder must supply the dirty
+    line (and write it back); E/S degrade to S silently.
+    """
+    if state is State.MODIFIED:
+        return State.SHARED, True
+    if state is State.EXCLUSIVE:
+        return State.SHARED, False
+    if state is State.SHARED:
+        return State.SHARED, False
+    return State.INVALID, False
+
+
+def probe_invalidate(state: State) -> Tuple[State, bool]:
+    """An RFO/upgrade probe: everyone else must drop the line."""
+    if state is State.MODIFIED:
+        return State.INVALID, True
+    return State.INVALID, False
+
+
+def check_line_invariant(states: Iterable[State]) -> None:
+    """MESI safety: at most one M/E holder; M/E exclude any other valid
+    copy.  Raises ProtocolError on violation."""
+    states = [s for s in states if s is not State.INVALID]
+    m = sum(1 for s in states if s is State.MODIFIED)
+    e = sum(1 for s in states if s is State.EXCLUSIVE)
+    if m + e > 1:
+        raise ProtocolError(f"multiple exclusive holders: {states}")
+    if (m or e) and len(states) > 1:
+        raise ProtocolError(f"exclusive holder coexists with sharers: {states}")

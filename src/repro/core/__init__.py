@@ -1,0 +1,5 @@
+"""Public facade of the TCCluster reproduction."""
+
+from .api import TCClusterSystem
+
+__all__ = ["TCClusterSystem"]

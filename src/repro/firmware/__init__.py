@@ -1,0 +1,32 @@
+"""Modified-coreboot firmware: boards, enumeration, the TCC boot sequence."""
+
+from .board import Board, BoardError, BoardLayout, TYAN_S2912E, single_chip_layout
+from .boot import (
+    BoardPlan,
+    BootReport,
+    FirmwareContext,
+    FirmwareError,
+    TCClusterFirmware,
+    mtrr_cover,
+)
+from .enumeration import EnumerationError, EnumerationResult, coherent_enumeration
+from .southbridge import DEFAULT_ROM_IMAGE, Southbridge
+
+__all__ = [
+    "Board",
+    "BoardLayout",
+    "BoardError",
+    "TYAN_S2912E",
+    "single_chip_layout",
+    "BoardPlan",
+    "BootReport",
+    "FirmwareContext",
+    "FirmwareError",
+    "TCClusterFirmware",
+    "mtrr_cover",
+    "EnumerationResult",
+    "EnumerationError",
+    "coherent_enumeration",
+    "Southbridge",
+    "DEFAULT_ROM_IMAGE",
+]

@@ -1,0 +1,181 @@
+"""Coherent fabric enumeration: the BSP's depth-first node discovery.
+
+Paper Section IV.E:
+
+    "Before the BSP is able to configure the routing tables in the
+    processors it has to determine the topology of the system. ... the
+    processor performs a depth-first search for all APs.  After system
+    reset each NodeID register in each AP is initially set to seven.  If
+    the NodeID register is still seven, the BSP knows that it hasn't
+    visited that specific node yet, so it assigns a new NodeID to the AP
+    and configures its routing table entries accordingly."
+
+and the TCCluster modification (Section V, 'Coherent Enumeration'):
+
+    "At this point the TCCluster links are still configured as coherent
+    which would cause the regular firmware to perform a search for all
+    coherent links thereby building the system topology.  The modified
+    TCCluster firmware avoids this by ignoring such links and only
+    performs coherent link enumeration for the nodes within a Supernode."
+
+``skip_ports`` carries that modification.  Running with an empty skip set
+on a multi-board system reproduces the stock-firmware hazard: the DFS
+escapes the board and claims foreign processors (tested in
+``tests/test_firmware.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ht.link import LinkSide
+from ..opteron import OpteronChip
+from ..opteron.registers import RESET_NODEID, RoutingTableAccessor
+
+__all__ = ["EnumerationResult", "coherent_enumeration", "EnumerationError"]
+
+
+class EnumerationError(RuntimeError):
+    """Fabric discovery failed (too many nodes, inconsistent state...)."""
+
+
+@dataclass
+class EnumerationResult:
+    """Discovered coherent fabric rooted at the BSP."""
+
+    #: nodeid -> chip, in assignment order (BSP is nodes[0]).
+    nodes: List[OpteronChip] = field(default_factory=list)
+    #: spanning-tree edges: (parent_nodeid, child_nodeid, parent_port, child_port)
+    tree_edges: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    #: chips claimed that do not belong to the BSP's board (stock-firmware
+    #: hazard when TCC links are not skipped).
+    foreign_nodes: List[OpteronChip] = field(default_factory=list)
+
+    def nodeid_of(self, chip: OpteronChip) -> int:
+        for i, c in enumerate(self.nodes):
+            if c is chip:
+                return i
+        raise KeyError(f"{chip.name} was not enumerated")
+
+
+def _coherent_neighbors(chip: OpteronChip, skip: Set[Tuple[int, int]],
+                        board_chips: Optional[Set[int]]):
+    """Yield (port, peer_chip, peer_port) over active coherent links."""
+    for port, binding in sorted(chip.ports.items()):
+        if (id(chip), port) in skip:
+            continue
+        link = binding.link
+        if link.state != "active" or link.link_type != "coherent":
+            continue
+        attached = getattr(link, "attached", None)
+        if not attached:
+            continue
+        peer = attached[LinkSide.other(binding.side)]
+        if not isinstance(peer, OpteronChip):
+            continue
+        peer_port = None
+        for pp, pb in peer.ports.items():
+            if pb.link is link:
+                peer_port = pp
+                break
+        yield port, peer, peer_port
+
+
+def coherent_enumeration(
+    ctx,
+    bsp: OpteronChip,
+    skip_ports: Optional[Set[Tuple[OpteronChip, int]]] = None,
+    board_chips: Optional[List[OpteronChip]] = None,
+):
+    """Generator: run the DFS and program NodeIDs + routing tables.
+
+    ``ctx`` is the :class:`~repro.firmware.boot.FirmwareContext` charging
+    execution time per configuration access.  ``skip_ports`` is the set of
+    (chip, port) pairs designated as TCCluster links.  Returns an
+    :class:`EnumerationResult` (via generator return value).
+    """
+    skip = {(id(c), p) for (c, p) in (skip_ports or set())}
+    own = {id(c) for c in board_chips} if board_chips is not None else None
+
+    result = EnumerationResult()
+    yield from ctx.step(4)  # BSP self-configuration preamble
+    bsp.node_id_reg().nodeid = 0
+    result.nodes.append(bsp)
+
+    stack: List[OpteronChip] = [bsp]
+    seen: Dict[int, int] = {id(bsp): 0}
+    while stack:
+        chip = stack.pop()
+        for port, peer, peer_port in _coherent_neighbors(chip, skip, own):
+            if id(peer) in seen:
+                continue
+            yield from ctx.step(2)  # probe config cycle over the link
+            if peer.node_id_reg().nodeid != RESET_NODEID:
+                # Already claimed -- by us through another path, or by a
+                # *different* BSP racing us across a not-skipped TCC link.
+                continue
+            new_id = len(result.nodes)
+            if new_id >= 8:
+                raise EnumerationError(
+                    "more than 8 coherent nodes discovered -- the DFS "
+                    "escaped the supernode (TCC links not skipped?)"
+                )
+            yield from ctx.step(3)  # assign NodeID + base routing
+            peer.node_id_reg().nodeid = new_id
+            seen[id(peer)] = new_id
+            result.nodes.append(peer)
+            parent_id = seen[id(chip)]
+            result.tree_edges.append((parent_id, new_id, port, peer_port))
+            if own is not None and id(peer) not in own:
+                result.foreign_nodes.append(peer)
+            stack.append(peer)
+
+    # Program routing tables along the spanning tree: for every (src, dst)
+    # pair the next-hop port, for every node the broadcast fan-out.
+    adj: Dict[int, List[Tuple[int, int, int]]] = {
+        i: [] for i in range(len(result.nodes))
+    }
+    for (a, b, pa, pb) in result.tree_edges:
+        adj[a].append((b, pa, pb))
+        adj[b].append((a, pb, pa))
+
+    def next_hop(src: int, dst: int) -> int:
+        """Port at src on the tree path toward dst (BFS on the tree)."""
+        from collections import deque
+
+        q = deque([(src, None)])
+        first: Dict[int, int] = {}
+        visited = {src}
+        while q:
+            n, first_port = q.popleft()
+            for (m, pn, _pm) in adj[n]:
+                if m in visited:
+                    continue
+                visited.add(m)
+                fp = first_port if first_port is not None else pn
+                if m == dst:
+                    return fp
+                q.append((m, fp))
+        raise EnumerationError(f"no tree path {src}->{dst}")
+
+    n = len(result.nodes)
+    for src_id, chip in enumerate(result.nodes):
+        for dst_id in range(n):
+            acc = RoutingTableAccessor(chip.regs, dst_id)
+            if dst_id == src_id:
+                mask_value = RoutingTableAccessor.to_self()
+            else:
+                mask_value = RoutingTableAccessor.to_link(next_hop(src_id, dst_id))
+            acc.request = mask_value
+            acc.response = mask_value
+            yield from ctx.step(1)
+        # Broadcast: deliver locally + fan out along tree-adjacent links.
+        bc = RoutingTableAccessor.to_self()
+        for (_m, pn, _pm) in adj[src_id]:
+            bc |= RoutingTableAccessor.to_link(pn)
+        RoutingTableAccessor(chip.regs, src_id).broadcast = bc
+        chip.node_id_reg().nodecnt = n - 1
+        yield from ctx.step(1)
+
+    return result

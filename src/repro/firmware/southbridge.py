@@ -1,0 +1,81 @@
+"""Southbridge model: the non-coherent I/O hub holding the firmware ROM.
+
+Paper Section III: "the system features two southbridge chips that are
+connected to the CPUs via non-coherent links.  These chips allow to attach
+PCI-Express, USB and SATA I/O devices" and Section IV.E: "In an AMD
+environment the code is retrieved via the southbridge which is connected
+to the BSP via a non-coherent HyperTransport link."
+
+For TCCluster the southbridge matters for three behaviours:
+
+* it identifies as a **non-coherent** device at link training,
+* it serves the ROM image whose fetch cost dominates cache-as-RAM
+  execution (the CAR-exit boot step exists to escape it),
+* it occupies one HT port ("An individual southbridge for each processor
+  is undesirable as it is costly and occupies a HyperTransport link").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ht.link import Link, LinkSide
+from ..ht.linkinit import LinkInitFSM
+from ..sim import Event, Simulator
+
+__all__ = ["Southbridge", "DEFAULT_ROM_IMAGE"]
+
+#: A recognizable stand-in for the coreboot image the prototype flashes.
+DEFAULT_ROM_IMAGE = (b"coreboot-tccluster-v1 " * 200)[:4096]
+
+#: ROM read bandwidth (LPC/SPI flash is slow; this is what makes CAR mode
+#: painful: "the performance is limited by the read bandwidth of the ROM").
+ROM_BYTES_PER_NS = 0.025  # 25 MB/s
+
+
+class Southbridge:
+    """Minimal I/O hub: ROM + link endpoint that drains its traffic."""
+
+    def __init__(self, sim: Simulator, name: str = "sb",
+                 rom_image: bytes = DEFAULT_ROM_IMAGE):
+        self.sim = sim
+        self.name = name
+        self.rom = bytes(rom_image)
+        self.port: Optional[object] = None  # PortBinding-alike
+        self.rx_packets = 0
+
+    # Chip-compatible attach interface (wire_link uses it).
+    def attach_link(self, port: int, link: Link, side: str, fsm: LinkInitFSM) -> None:
+        if self.port is not None:
+            raise ValueError(f"{self.name}: already attached")
+        fsm.persona(side).identify_coherent = False  # we are an I/O device
+        self.port = _SbBinding(port, link, side, fsm)
+        self.sim.process(self._drain(), name=f"{self.name}.drain")
+
+    def _drain(self):
+        """Consume inbound packets (returns credits); the southbridge's I/O
+        functions are out of scope, we only keep the link flowing."""
+        b = self.port
+        while True:
+            yield b.link.receive(b.side)
+            self.rx_packets += 1
+
+    def assert_reset(self, kind: str) -> Event:
+        """Participate in a platform reset pulse."""
+        if self.port is None:
+            raise RuntimeError(f"{self.name}: no link attached")
+        return self.port.fsm.assert_reset(self.port.side, kind)
+
+    def rom_read_ns(self, nbytes: int) -> float:
+        """Time to fetch ``nbytes`` of firmware from flash."""
+        return nbytes / ROM_BYTES_PER_NS
+
+
+class _SbBinding:
+    __slots__ = ("port", "link", "side", "fsm")
+
+    def __init__(self, port: int, link: Link, side: str, fsm: LinkInitFSM):
+        self.port = port
+        self.link = link
+        self.side = side
+        self.fsm = fsm

@@ -1,0 +1,270 @@
+"""The HyperTransport link model: serialization, virtual channels, credits.
+
+A :class:`Link` connects two endpoints (side ``A`` and side ``B``).  Each
+direction has its own wires and consists of
+
+* one transmit queue per virtual channel (posted / non-posted / response),
+* a credit pool per VC granted by the receiver (HT coupled flow control),
+* a physical serializer shared by the three VCs (FCFS arbitration),
+* optional bit-error injection with HT3-style per-packet retry.
+
+Delivery ordering is in-order **within** a VC; packets in different VCs
+are pumped independently and may pass each other at the serializer --
+exactly the property the message library relies on (paper Section IV.A:
+"The HyperTransport fabric guarantees in-order delivery for packets
+within a single virtual channel").
+
+Timing: a packet occupies the serializer for ``wire_bytes / link_rate``
+where the rate follows the currently trained width and frequency, then
+experiences the propagation delay of the cable/trace before appearing in
+the receiver's buffer.  Consuming a packet at the receiver returns its
+flow-control credit to the transmitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim import CreditPool, Event, Resource, Simulator, Store, Tracer, NULL_TRACER
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+from .packet import Packet, VirtualChannel
+
+__all__ = ["Link", "LinkSide", "LinkState", "LinkDownError", "LinkStats"]
+
+
+class LinkDownError(RuntimeError):
+    """Attempt to use a link that is not in the ACTIVE state."""
+
+
+class LinkState:
+    DOWN = "down"
+    INIT = "init"
+    ACTIVE = "active"
+
+
+class LinkSide:
+    A = "A"
+    B = "B"
+
+    @staticmethod
+    def other(side: str) -> str:
+        if side == LinkSide.A:
+            return LinkSide.B
+        if side == LinkSide.B:
+            return LinkSide.A
+        raise ValueError(f"unknown link side {side!r}")
+
+
+@dataclass
+class LinkStats:
+    packets: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    retries: int = 0
+    busy_ns: float = 0.0
+
+    def utilization(self, elapsed_ns: float) -> float:
+        return self.busy_ns / elapsed_ns if elapsed_ns > 0 else 0.0
+
+
+class _Direction:
+    """One direction of the link (packets flowing tx_side -> rx_side)."""
+
+    def __init__(self, link: "Link", tx_side: str):
+        self.link = link
+        self.tx_side = tx_side
+        self.rx_side = LinkSide.other(tx_side)
+        sim = link.sim
+        self.txq: Dict[VirtualChannel, Store] = {
+            vc: Store(
+                sim,
+                capacity=link.tx_queue_depth,
+                name=f"{link.name}.{tx_side}.tx.{vc.name}",
+            )
+            for vc in VirtualChannel
+        }
+        self.credits: Dict[VirtualChannel, CreditPool] = {
+            vc: CreditPool(
+                sim,
+                link.credits_per_vc,
+                name=f"{link.name}.{tx_side}.cred.{vc.name}",
+            )
+            for vc in VirtualChannel
+        }
+        #: Arrival stream at the receiver; capacity is enforced by credits.
+        self.rx: Store = Store(sim, capacity=None, name=f"{link.name}.{self.rx_side}.rx")
+        self.phy = Resource(sim, 1, name=f"{link.name}.{tx_side}.phy")
+        self.stats = LinkStats()
+        for vc in VirtualChannel:
+            sim.process(self._pump(vc), name=f"{link.name}.{tx_side}.pump.{vc.name}")
+
+    def _pump(self, vc: VirtualChannel):
+        link = self.link
+        sim = link.sim
+        txq = self.txq[vc]
+        credits = self.credits[vc]
+        while True:
+            pkt = yield txq.get()
+            yield credits.take()
+            yield self.phy.acquire()
+            try:
+                if link.state != LinkState.ACTIVE:
+                    raise LinkDownError(
+                        f"link {link.name} went {link.state} while transmitting"
+                    )
+                ser = link.serialization_ns(pkt)
+                attempts = 1
+                while link.ber > 0 and link._rng.random() < link.ber:
+                    # HT3 retry: CRC failure detected, NAK + retransmission
+                    # costs another serialization window plus turnaround.
+                    yield sim.timeout(ser + link.retry_turnaround_ns)
+                    self.stats.retries += 1
+                    self.stats.busy_ns += ser + link.retry_turnaround_ns
+                    attempts += 1
+                    if attempts > link.max_retries:
+                        raise LinkDownError(
+                            f"link {link.name}: packet dropped after "
+                            f"{link.max_retries} retries"
+                        )
+                yield sim.timeout(ser)
+                self.stats.busy_ns += ser
+            finally:
+                self.phy.release()
+            self.stats.packets += 1
+            self.stats.payload_bytes += len(pkt.data)
+            self.stats.wire_bytes += pkt.wire_bytes(link.timing.ht_crc_bytes)
+            link.tracer.emit(sim.now, link.name, "tx", (self.tx_side, vc.name, pkt.addr))
+            sim.schedule(link.propagation_ns, self._deliver, pkt, vc)
+
+    def _deliver(self, pkt: Packet, vc: VirtualChannel) -> None:
+        self.rx.try_put(pkt)
+        self.link.tracer.emit(
+            self.link.sim.now, self.link.name, "rx", (self.rx_side, vc.name, pkt.addr)
+        )
+
+
+class Link:
+    """A bidirectional HT link between two devices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "link",
+        timing: TimingModel = DEFAULT_TIMING,
+        width_bits: Optional[int] = None,
+        gbit_per_lane: Optional[float] = None,
+        propagation_ns: Optional[float] = None,
+        credits_per_vc: Optional[int] = None,
+        tx_queue_depth: int = 4,
+        ber: float = 0.0,
+        seed: int = 0x7CC,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.sim = sim
+        self.name = name
+        self.timing = timing
+        self.width_bits = width_bits if width_bits is not None else timing.link_width_bits
+        self.gbit_per_lane = (
+            gbit_per_lane if gbit_per_lane is not None else timing.link_gbit_per_lane
+        )
+        self.propagation_ns = (
+            propagation_ns if propagation_ns is not None else timing.link_propagation_ns
+        )
+        self.credits_per_vc = (
+            credits_per_vc if credits_per_vc is not None else timing.link_credits_per_vc
+        )
+        self.tx_queue_depth = tx_queue_depth
+        self.ber = ber
+        self.max_retries = 16
+        self.retry_turnaround_ns = 40.0
+        self._rng = random.Random(seed)
+        self.tracer = tracer
+        self.state = LinkState.DOWN
+        #: None until trained; then "coherent" or "noncoherent".
+        self.link_type: Optional[str] = None
+        self._dirs: Dict[str, _Direction] = {
+            side: _Direction(self, side) for side in (LinkSide.A, LinkSide.B)
+        }
+
+    # -- rate -----------------------------------------------------------------
+    @property
+    def bytes_per_ns(self) -> float:
+        """Current unidirectional link rate (bytes/ns)."""
+        return self.width_bits * self.gbit_per_lane / 8.0
+
+    def serialization_ns(self, pkt: Packet) -> float:
+        return pkt.wire_bytes(self.timing.ht_crc_bytes) / self.bytes_per_ns
+
+    # -- data path --------------------------------------------------------------
+    def send(self, side: str, pkt: Packet) -> Event:
+        """Enqueue ``pkt`` for transmission from ``side``.
+
+        Returns the event that fires when the packet is accepted into the
+        per-VC transmit queue (the back-pressure point for the SRQ).
+        """
+        if self.state != LinkState.ACTIVE:
+            raise LinkDownError(f"link {self.name} is {self.state}")
+        return self._dirs[side].txq[pkt.vc].put(pkt)
+
+    def try_send(self, side: str, pkt: Packet) -> bool:
+        if self.state != LinkState.ACTIVE:
+            raise LinkDownError(f"link {self.name} is {self.state}")
+        return self._dirs[side].txq[pkt.vc].try_put(pkt)
+
+    def receive(self, side: str) -> Event:
+        """Event yielding the next :class:`Packet` arriving at ``side``.
+
+        Consuming the packet returns its flow-control credit.
+        """
+        d = self._dirs[LinkSide.other(side)]  # direction whose rx is `side`
+        ev = d.rx.get()
+
+        def _return_credit(done_ev: Event, d=d) -> None:
+            d.credits[done_ev.value.vc].give()
+
+        ev.add_callback(_return_credit)
+        return ev
+
+    def try_receive(self, side: str):
+        """Non-blocking receive; returns ``(ok, packet)``."""
+        d = self._dirs[LinkSide.other(side)]
+        ok, pkt = d.rx.try_get()
+        if ok:
+            d.credits[pkt.vc].give()
+        return ok, pkt
+
+    def pending_rx(self, side: str) -> int:
+        return len(self._dirs[LinkSide.other(side)].rx)
+
+    def stats(self, side: str) -> LinkStats:
+        """Transmit statistics for the direction sending *from* ``side``."""
+        return self._dirs[side].stats
+
+    # -- lifecycle ----------------------------------------------------------------
+    def activate(self, link_type: str) -> None:
+        """Bring the link up (called by the init FSM after training)."""
+        if link_type not in ("coherent", "noncoherent"):
+            raise ValueError(f"bad link type {link_type!r}")
+        self.state = LinkState.ACTIVE
+        self.link_type = link_type
+
+    def bring_down(self) -> None:
+        self.state = LinkState.DOWN
+        self.link_type = None
+
+    def set_rate(self, width_bits: int, gbit_per_lane: float) -> None:
+        """Apply trained width/frequency (takes effect immediately)."""
+        if width_bits not in (2, 4, 8, 16, 32):
+            raise ValueError(f"illegal link width {width_bits}")
+        if gbit_per_lane <= 0:
+            raise ValueError(f"illegal lane rate {gbit_per_lane}")
+        self.width_bits = width_bits
+        self.gbit_per_lane = gbit_per_lane
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Link {self.name} {self.state} type={self.link_type} "
+            f"{self.width_bits}b@{self.gbit_per_lane}G>"
+        )

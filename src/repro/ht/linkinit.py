@@ -1,0 +1,192 @@
+"""HT link initialization: detect, train, identify coherent/non-coherent.
+
+Paper Section IV.B:
+
+    "As soon as the Opteron processor emerges from its reset state it
+    enters the low level initialization and begins to configure its
+    HyperTransport links.  Therefore, it drives some specific data
+    patterns on the wires trying to detect another device that may reside
+    on the other side of the link. ... Then, both endpoints identify
+    themselves as a coherent or non-coherent device to determine the type
+    of the link."
+
+and the TCCluster trick:
+
+    "The processors implement a specific register for debug purposes
+    enabling non-coherent operation. ... The modifications become
+    effective at the next warm reset which causes a reinitialization of
+    the link, at which time, the processors identify themselves as
+    non-coherent devices."
+
+This module models that state machine:
+
+* links train at **boot defaults** (8 bits wide, 400 Mbit/s per lane --
+  the paper: "the link speed is increased from 400 to 4.800 Mbit/s")
+  after a cold reset,
+* firmware-programmed width/frequency and the **force-non-coherent debug
+  bit** are *pending* values that only take effect at the next warm reset,
+* training requires both sides to assert reset within a skew window,
+  modeling the prototype's short-circuited reset lines ("power them up
+  simultaneously ... short-circuiting both reset and power up signals").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sim import Event, Simulator
+from .link import Link, LinkSide
+
+__all__ = [
+    "LinkInitFSM",
+    "EndpointPersona",
+    "LinkTrainingError",
+    "BOOT_WIDTH_BITS",
+    "BOOT_GBIT_PER_LANE",
+]
+
+#: HT links always come out of cold reset at 200 MHz DDR, 8 bits.
+BOOT_WIDTH_BITS = 8
+BOOT_GBIT_PER_LANE = 0.4
+
+COLD_TRAIN_NS = 1000.0
+WARM_TRAIN_NS = 500.0
+
+
+class LinkTrainingError(RuntimeError):
+    """Link failed to train (reset skew, capability mismatch...)."""
+
+
+@dataclass
+class EndpointPersona:
+    """What one side of the link claims to be and wants to become.
+
+    ``identify_coherent`` is the device's nature (an Opteron CPU link
+    identifies coherent; a southbridge identifies non-coherent).
+    ``force_noncoherent`` is the debug register the paper exploits; it is
+    *pending* until the next warm reset.  ``pending_width`` /
+    ``pending_gbit`` model the link frequency/width registers which are
+    likewise warm-reset-applied.
+    """
+
+    identify_coherent: bool = True
+    force_noncoherent: bool = False
+    max_width_bits: int = 16
+    max_gbit_per_lane: float = 5.2
+    pending_width: Optional[int] = None
+    pending_gbit: Optional[float] = None
+
+    def effective_identity(self) -> str:
+        if self.force_noncoherent or not self.identify_coherent:
+            return "noncoherent"
+        return "coherent"
+
+
+class LinkInitFSM:
+    """Per-link training controller shared by both endpoints."""
+
+    def __init__(self, sim: Simulator, link: Link, skew_tolerance_ns: float = 100.0):
+        self.sim = sim
+        self.link = link
+        self.skew_tolerance_ns = skew_tolerance_ns
+        self.personas: Dict[str, EndpointPersona] = {
+            LinkSide.A: EndpointPersona(),
+            LinkSide.B: EndpointPersona(),
+        }
+        self._pending_asserts: Dict[str, float] = {}
+        self._waiters: Dict[str, Event] = {}
+        self.train_count = 0
+        self.last_kind: Optional[str] = None
+
+    # -- firmware-facing configuration ---------------------------------------
+    def persona(self, side: str) -> EndpointPersona:
+        return self.personas[side]
+
+    def set_force_noncoherent(self, side: str, value: bool = True) -> None:
+        """Write the debug register (pending until warm reset)."""
+        self.personas[side].force_noncoherent = value
+
+    def program_rate(self, side: str, width_bits: int, gbit_per_lane: float) -> None:
+        """Program link width/frequency registers (pending until warm reset)."""
+        p = self.personas[side]
+        if width_bits > p.max_width_bits:
+            raise LinkTrainingError(
+                f"side {side}: width {width_bits} exceeds capability "
+                f"{p.max_width_bits}"
+            )
+        if gbit_per_lane > p.max_gbit_per_lane:
+            raise LinkTrainingError(
+                f"side {side}: {gbit_per_lane} Gbit/s/lane exceeds capability "
+                f"{p.max_gbit_per_lane}"
+            )
+        p.pending_width = width_bits
+        p.pending_gbit = gbit_per_lane
+
+    # -- reset handshake ----------------------------------------------------------
+    def assert_reset(self, side: str, kind: str) -> Event:
+        """One endpoint asserts cold/warm reset; training starts when both
+        sides have asserted within the skew window.
+
+        Returns an event that fires with the trained link type, or fails
+        with :class:`LinkTrainingError`.
+        """
+        if kind not in ("cold", "warm"):
+            raise ValueError(f"unknown reset kind {kind!r}")
+        ev = self.sim.event(name=f"{self.link.name}.{side}.train")
+        other = LinkSide.other(side)
+        self._waiters[side] = ev
+        if other in self._pending_asserts:
+            t_other = self._pending_asserts.pop(other)
+            skew = self.sim.now - t_other
+            if skew > self.skew_tolerance_ns:
+                err = LinkTrainingError(
+                    f"{self.link.name}: reset skew {skew:.0f} ns exceeds "
+                    f"tolerance {self.skew_tolerance_ns:.0f} ns -- the "
+                    "prototype requires synchronized reset/power-up"
+                )
+                for w in self._waiters.values():
+                    if not w.triggered:
+                        w.fail(err)
+                self._waiters.clear()
+                return ev
+            self.sim.process(self._train(kind), name=f"{self.link.name}.train")
+        else:
+            self._pending_asserts[side] = self.sim.now
+        return ev
+
+    def _train(self, kind: str):
+        link = self.link
+        link.bring_down()
+        yield self.sim.timeout(COLD_TRAIN_NS if kind == "cold" else WARM_TRAIN_NS)
+        pa, pb = self.personas[LinkSide.A], self.personas[LinkSide.B]
+        if kind == "cold":
+            # Boot defaults; pending programming is NOT applied on a cold
+            # reset (registers lose state), and the debug force bit is
+            # likewise cleared by a cold reset.
+            pa.force_noncoherent = pb.force_noncoherent = False
+            pa.pending_width = pa.pending_gbit = None
+            pb.pending_width = pb.pending_gbit = None
+            width, gbit = BOOT_WIDTH_BITS, BOOT_GBIT_PER_LANE
+        else:
+            width = min(
+                pa.pending_width or BOOT_WIDTH_BITS,
+                pb.pending_width or BOOT_WIDTH_BITS,
+            )
+            gbit = min(
+                pa.pending_gbit or BOOT_GBIT_PER_LANE,
+                pb.pending_gbit or BOOT_GBIT_PER_LANE,
+            )
+        if pa.effective_identity() == "coherent" and pb.effective_identity() == "coherent":
+            link_type = "coherent"
+        else:
+            link_type = "noncoherent"
+        link.set_rate(width, gbit)
+        link.activate(link_type)
+        self.train_count += 1
+        self.last_kind = kind
+        waiters, self._waiters = self._waiters, {}
+        for w in waiters.values():
+            if not w.triggered:
+                w.succeed(link_type)
+        return link_type

@@ -1,0 +1,96 @@
+"""Response-matching table (SrcTag allocation).
+
+Paper Section IV.A:
+
+    "Each read request creates an entry in the response matching table
+    located in the northbridge and receives a tag.  A matching response
+    will carry the same tag and can be thereby routed without having to
+    carry an address.  The number of these tags is, however, limited and
+    they are always mapped to a specific NodeID.  This fact makes it
+    impossible for our approach to route responses which means that the
+    software can only communicate via writes and may not use read
+    accesses."
+
+This module models exactly that: a 32-entry table whose entries are bound
+to the *NodeID* the request was routed to.  The northbridge consults it
+before emitting any non-posted request; requests whose target resolves
+over a TCCluster link cannot obtain a routable tag and raise
+:class:`UnroutableResponseError` -- the writes-only property of the paper
+is thereby enforced mechanically rather than by convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = ["ResponseMatchingTable", "TagExhaustedError", "UnroutableResponseError"]
+
+#: 5-bit SrcTag space per unit.
+NUM_TAGS = 32
+
+
+class TagExhaustedError(RuntimeError):
+    """All 32 SrcTags are outstanding; the requester must stall."""
+
+
+class UnroutableResponseError(RuntimeError):
+    """A non-posted request would need a response routed across a
+    TCCluster link, which the tag/NodeID binding cannot express."""
+
+
+@dataclass
+class _Entry:
+    dest_nodeid: int
+    context: Any
+
+
+class ResponseMatchingTable:
+    """Tracks outstanding non-posted requests by SrcTag."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, _Entry] = {}
+        self._free = list(range(NUM_TAGS - 1, -1, -1))  # allocate 0 first
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def allocate(self, dest_nodeid: int, context: Any = None) -> int:
+        """Reserve a tag for a request routed to ``dest_nodeid``.
+
+        ``dest_nodeid`` must be a concrete NodeID inside the local coherent
+        fabric; the caller (northbridge) is responsible for refusing to
+        allocate for TCC-link targets (see
+        :meth:`repro.opteron.northbridge.Northbridge.issue_request`).
+        """
+        if dest_nodeid is None or dest_nodeid < 0:
+            raise UnroutableResponseError(
+                "non-posted request targets a destination with no routable "
+                "NodeID (TCCluster links carry posted writes only)"
+            )
+        if not self._free:
+            raise TagExhaustedError("all 32 SrcTags outstanding")
+        tag = self._free.pop()
+        self._entries[tag] = _Entry(dest_nodeid, context)
+        self.high_water = max(self.high_water, len(self._entries))
+        return tag
+
+    def match(self, tag: int) -> Any:
+        """Consume the entry for an arriving response; returns its context."""
+        entry = self._entries.pop(tag, None)
+        if entry is None:
+            raise KeyError(f"response with unknown SrcTag {tag}")
+        self._free.append(tag)
+        return entry.context
+
+    def peek_dest(self, tag: int) -> Optional[int]:
+        entry = self._entries.get(tag)
+        return entry.dest_nodeid if entry else None
+
+    def outstanding_to(self, nodeid: int) -> int:
+        return sum(1 for e in self._entries.values() if e.dest_nodeid == nodeid)

@@ -1,0 +1,18 @@
+"""Minimal OS layer: page tables, the tccluster driver, process binding."""
+
+from .driver import DriverError, TccDriver
+from .linux import Kernel, KernelError, KernelPanic, UserProcess
+from .pagetable import PAGE_SIZE, Mapping, PageFault, PageTable
+
+__all__ = [
+    "Kernel",
+    "KernelError",
+    "KernelPanic",
+    "UserProcess",
+    "TccDriver",
+    "DriverError",
+    "PageTable",
+    "Mapping",
+    "PageFault",
+    "PAGE_SIZE",
+]

@@ -1,0 +1,107 @@
+"""Per-process virtual memory map with memory-type attributes.
+
+The TCCluster driver "maps the remote address range as memory mapped IO
+and provides access to the API" and "requests page wise memory mapping of
+remote addresses into user space" (paper Section V).  This module models
+the paging layer: page-granular mappings carrying access permissions and
+the effective memory type (the PAT/MTRR combination user mappings get).
+
+We use an identity virtual->physical layout (documented simplification:
+the library's addresses *are* global physical addresses) but permissions
+and types are enforced on every access, which is where the TCCluster
+rules live: remote windows map write-only + write-combining, exported
+local rings map read-write + uncacheable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..opteron.mtrr import MemoryType
+
+__all__ = ["PageTable", "Mapping", "PageFault", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+
+
+class PageFault(RuntimeError):
+    """Access outside a mapping or violating its permissions."""
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One mmap'ed region."""
+
+    base: int
+    size: int
+    mtype: MemoryType
+    readable: bool = True
+    writable: bool = True
+    tag: str = ""
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def covers(self, addr: int, length: int) -> bool:
+        return self.base <= addr and addr + length <= self.limit
+
+
+class PageTable:
+    """Page-granular mappings of one process."""
+
+    def __init__(self, name: str = "pt"):
+        self.name = name
+        self._pages: Dict[int, Mapping] = {}
+        self._mappings: list = []
+
+    def map(self, base: int, size: int, mtype: MemoryType,
+            readable: bool = True, writable: bool = True, tag: str = "") -> Mapping:
+        if base % PAGE_SIZE or size % PAGE_SIZE or size <= 0:
+            raise PageFault(
+                f"mmap of [{base:#x}, +{size:#x}) is not page aligned"
+            )
+        m = Mapping(base, size, mtype, readable, writable, tag)
+        for page in range(base // PAGE_SIZE, (base + size) // PAGE_SIZE):
+            if page in self._pages:
+                raise PageFault(
+                    f"{self.name}: page {page * PAGE_SIZE:#x} already mapped "
+                    f"({self._pages[page].tag!r})"
+                )
+            self._pages[page] = m
+        self._mappings.append(m)
+        return m
+
+    def unmap(self, m: Mapping) -> None:
+        for page in range(m.base // PAGE_SIZE, (m.base + m.size) // PAGE_SIZE):
+            if self._pages.get(page) is m:
+                del self._pages[page]
+        self._mappings.remove(m)
+
+    def lookup(self, addr: int, length: int = 1) -> Mapping:
+        m = self._pages.get(addr // PAGE_SIZE)
+        if m is None or not m.covers(addr, length):
+            raise PageFault(
+                f"{self.name}: access [{addr:#x}, +{length}) not mapped"
+            )
+        return m
+
+    def check_store(self, addr: int, length: int) -> Mapping:
+        m = self.lookup(addr, length)
+        if not m.writable:
+            raise PageFault(f"{self.name}: store to read-only {addr:#x}")
+        return m
+
+    def check_load(self, addr: int, length: int) -> Mapping:
+        m = self.lookup(addr, length)
+        if not m.readable:
+            raise PageFault(
+                f"{self.name}: load from write-only {addr:#x} (TCCluster "
+                "remote windows are writes-only)"
+            )
+        return m
+
+    @property
+    def mappings(self) -> Tuple[Mapping, ...]:
+        return tuple(self._mappings)

@@ -1,0 +1,16 @@
+"""Middleware on top of the message library: mini-MPI and PGAS."""
+
+from .mpi import ANY_TAG, Communicator, MpiError, REDUCE_OPS, Request
+from .pgas import DEFAULT_GAS_BYTES, DEFAULT_GAS_OFFSET, GasError, GasRuntime
+
+__all__ = [
+    "Communicator",
+    "Request",
+    "ANY_TAG",
+    "MpiError",
+    "REDUCE_OPS",
+    "GasRuntime",
+    "GasError",
+    "DEFAULT_GAS_OFFSET",
+    "DEFAULT_GAS_BYTES",
+]

@@ -1,0 +1,284 @@
+"""A small MPI-flavored layer on top of the message library.
+
+Paper Section IV.A: "To support a Message Passing Interface (MPI)
+protocol like MVAPICH an underlying application programming interface
+(API) is required that enables sending and receiving of messages" and
+Section VII: "The next step in our work will be to port a middleware
+software layer like MPI or GASNet on top of our simple message library."
+
+This is that port, mpi4py-flavored: point-to-point with tag matching and
+an unexpected-message queue, plus the standard collectives (binomial
+broadcast and reduce, dissemination barrier, ring allgather, gather /
+scatter).  All methods are generators driven inside simulation processes;
+payloads are ``bytes`` (NumPy arrays go through ``tobytes``/frombuffer
+for the reduction collectives).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..msglib import MessageLibrary
+from ..sim import Resource
+
+__all__ = ["Communicator", "Request", "ANY_TAG", "MpiError", "REDUCE_OPS"]
+
+ANY_TAG = -1
+
+_ENV = struct.Struct("<iI")  # tag, payload length
+
+#: CPU cost of one MPI call above the transport (argument checking,
+#: envelope packing, matching) -- MVAPICH-era software path lengths.
+SOFTWARE_OVERHEAD_NS = 25.0
+
+
+class MpiError(RuntimeError):
+    pass
+
+
+REDUCE_OPS: Dict[str, Callable] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py's Request, in spirit)."""
+
+    def __init__(self, process):
+        self._process = process
+
+    def test(self) -> bool:
+        """True once the operation completed."""
+        return self._process.triggered
+
+    def wait(self):
+        """Generator: block until completion; returns the result (the
+        received payload for irecv, None for isend)."""
+        value = yield self._process
+        return value
+
+
+class Communicator:
+    """MPI_COMM_WORLD over TCCluster endpoints."""
+
+    def __init__(self, lib: MessageLibrary):
+        self.lib = lib
+        self.sim = lib.sim
+        self.rank = lib.rank
+        self.size = lib.nranks
+        #: per-source unexpected queue: (tag, payload)
+        self._unexpected: Dict[int, Deque[Tuple[int, bytes]]] = {}
+        # Endpoints are single-producer/single-consumer; nonblocking ops
+        # serialize per peer behind these locks.
+        self._tx_locks: Dict[int, Resource] = {}
+        self._rx_locks: Dict[int, Resource] = {}
+
+    def _lock(self, table: Dict[int, Resource], peer: int) -> Resource:
+        lock = table.get(peer)
+        if lock is None:
+            lock = table[peer] = Resource(self.sim, 1)
+        return lock
+
+    # ------------------------------------------------------------------
+    # Point to point
+    # ------------------------------------------------------------------
+    def send(self, data: bytes, dest: int, tag: int = 0):
+        """Blocking-ish send (returns when the stores retired + flushed)."""
+        if dest == self.rank:
+            raise MpiError("self-send is not supported")
+        if tag < 0:
+            raise MpiError(f"invalid tag {tag}")
+        yield self.sim.timeout(SOFTWARE_OVERHEAD_NS)
+        lock = self._lock(self._tx_locks, dest)
+        yield lock.acquire()
+        try:
+            ep = self.lib.connect(dest)
+            yield from ep.send(_ENV.pack(tag, len(data)) + bytes(data))
+            yield from ep.flush()
+        finally:
+            lock.release()
+
+    def recv(self, source: int, tag: int = ANY_TAG):
+        """Receive from ``source`` matching ``tag`` (queues mismatches)."""
+        if source == self.rank:
+            raise MpiError("self-receive is not supported")
+        yield self.sim.timeout(SOFTWARE_OVERHEAD_NS)
+        lock = self._lock(self._rx_locks, source)
+        yield lock.acquire()
+        try:
+            q = self._unexpected.setdefault(source, deque())
+            for i, (got_tag, payload) in enumerate(q):
+                if tag in (ANY_TAG, got_tag):
+                    del q[i]
+                    return payload
+            ep = self.lib.connect(source)
+            while True:
+                raw = yield from ep.recv()
+                got_tag, length = _ENV.unpack_from(raw, 0)
+                payload = raw[_ENV.size : _ENV.size + length]
+                if tag in (ANY_TAG, got_tag):
+                    return payload
+                q.append((got_tag, payload))
+        finally:
+            lock.release()
+
+    # -- nonblocking ---------------------------------------------------------
+    def isend(self, data: bytes, dest: int, tag: int = 0) -> Request:
+        """Start a send; returns a :class:`Request` to wait on."""
+        return Request(self.sim.process(self.send(data, dest, tag),
+                                        name=f"isend->{dest}"))
+
+    def irecv(self, source: int, tag: int = ANY_TAG) -> Request:
+        """Start a receive; ``wait()`` yields the payload.  Concurrent
+        receives from the same source serialize in issue order."""
+        return Request(self.sim.process(self.recv(source, tag),
+                                        name=f"irecv<-{source}"))
+
+    def sendrecv(self, data: bytes, peer: int, tag: int = 0):
+        """Exchange with ``peer`` (deadlock-free: send first is safe since
+        sends complete locally on a TCCluster)."""
+        yield from self.send(data, peer, tag)
+        reply = yield from self.recv(peer, tag)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self):
+        """Dissemination barrier (log2 n rounds of token messages)."""
+        n, me = self.size, self.rank
+        if n == 1:
+            return
+        dist = 1
+        rnd = 0
+        while dist < n:
+            yield from self.send(struct.pack("<i", rnd), (me + dist) % n,
+                                 tag=_BARRIER_TAG + rnd)
+            yield from self.recv((me - dist) % n, tag=_BARRIER_TAG + rnd)
+            dist <<= 1
+            rnd += 1
+
+    def bcast(self, data: Optional[bytes], root: int = 0):
+        """Binomial-tree broadcast (MPICH algorithm); returns the data on
+        every rank."""
+        n, me = self.size, self.rank
+        if n == 1:
+            return data
+        rel = (me - root) % n
+        mask = 1
+        while mask < n:
+            if rel & mask:
+                src = (me - mask) % n
+                data = yield from self.recv(src, tag=_BCAST_TAG)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < n:
+                dst = (me + mask) % n
+                yield from self.send(data, dst, tag=_BCAST_TAG)
+            mask >>= 1
+        return data
+
+    def gather(self, data: bytes, root: int = 0):
+        """Gather equal-size blocks at ``root``; returns list there."""
+        if self.rank == root:
+            parts: List[Optional[bytes]] = [None] * self.size
+            parts[self.rank] = bytes(data)
+            for src in range(self.size):
+                if src == root:
+                    continue
+                parts[src] = yield from self.recv(src, tag=_GATHER_TAG)
+            return parts
+        yield from self.send(data, root, tag=_GATHER_TAG)
+        return None
+
+    def scatter(self, parts: Optional[Sequence[bytes]], root: int = 0):
+        if self.rank == root:
+            if parts is None or len(parts) != self.size:
+                raise MpiError("root must supply one block per rank")
+            for dst in range(self.size):
+                if dst == root:
+                    continue
+                yield from self.send(parts[dst], dst, tag=_SCATTER_TAG)
+            return bytes(parts[root])
+        data = yield from self.recv(root, tag=_SCATTER_TAG)
+        return data
+
+    def allgather(self, data: bytes):
+        """Ring allgather; returns the list of every rank's block."""
+        n, me = self.size, self.rank
+        blocks: List[Optional[bytes]] = [None] * n
+        blocks[me] = bytes(data)
+        right = (me + 1) % n
+        left = (me - 1) % n
+        current = bytes(data)
+        for step in range(n - 1):
+            yield from self.send(current, right, tag=_ALLGATHER_TAG + step)
+            current = yield from self.recv(left, tag=_ALLGATHER_TAG + step)
+            blocks[(me - step - 1) % n] = current
+        return blocks
+
+    def alltoall(self, blocks: Sequence[bytes]):
+        """Personalized all-to-all: ``blocks[d]`` goes to rank d; returns
+        the list of blocks received (index = source rank).  Linear
+        pairwise exchange -- optimal on a fabric where sends complete
+        locally."""
+        n, me = self.size, self.rank
+        if len(blocks) != n:
+            raise MpiError("alltoall needs one block per rank")
+        out: List[Optional[bytes]] = [None] * n
+        out[me] = bytes(blocks[me])
+        for step in range(1, n):
+            dst = (me + step) % n
+            src = (me - step) % n
+            yield from self.send(blocks[dst], dst, tag=_ALLTOALL_TAG + step)
+            out[src] = yield from self.recv(src, tag=_ALLTOALL_TAG + step)
+        return out
+
+    def reduce(self, array: np.ndarray, op: str = "sum", root: int = 0):
+        """Binomial-tree reduction of a NumPy array; result at root."""
+        fn = REDUCE_OPS.get(op)
+        if fn is None:
+            raise MpiError(f"unknown reduce op {op!r}")
+        n = self.size
+        rel = (self.rank - root) % n
+        acc = np.array(array, copy=True)
+        mask = 1
+        while mask < n:
+            if rel & mask:
+                dst = (self.rank - mask) % n
+                yield from self.send(acc.tobytes(), dst, tag=_REDUCE_TAG)
+                return None
+            src_rel = rel | mask
+            if src_rel < n:
+                src = (src_rel + root) % n
+                raw = yield from self.recv(src, tag=_REDUCE_TAG)
+                other = np.frombuffer(raw, dtype=acc.dtype).reshape(acc.shape)
+                acc = fn(acc, other)
+            mask <<= 1
+        return acc
+
+    def allreduce(self, array: np.ndarray, op: str = "sum"):
+        """Reduce to rank 0, then broadcast."""
+        acc = yield from self.reduce(array, op=op, root=0)
+        raw = acc.tobytes() if self.rank == 0 else None
+        raw = yield from self.bcast(raw, root=0)
+        result = np.frombuffer(raw, dtype=array.dtype).reshape(np.shape(array))
+        return result.copy()
+
+
+_BARRIER_TAG = 1 << 20
+_BCAST_TAG = 1 << 21
+_GATHER_TAG = 1 << 22
+_SCATTER_TAG = 1 << 23
+_ALLGATHER_TAG = 1 << 24
+_REDUCE_TAG = 1 << 25
+_ALLTOALL_TAG = 1 << 26

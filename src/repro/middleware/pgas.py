@@ -1,0 +1,300 @@
+"""PGAS runtime (GASNet-flavored) over remote stores.
+
+Paper Section IV.A: "TCCluster is compatible with PGAS implementations
+like UPC over GASNet.  Whereas the data transfer (relaxed consistency
+operations) is straightforward, global synchronization messages
+implemented through remote stores are used to enforce strict sequential
+consistency."
+
+Semantics under the writes-only constraint:
+
+* **put** is a native one-sided remote store into the symmetric segment
+  (relaxed; :meth:`GasRuntime.fence` = sfence orders it),
+* **get** cannot be a load (no reads across TCC links!), so it is an
+  *active message*: a GET request travels through the message library and
+  the target's dispatcher answers with the payload -- exactly how GASNet
+  cores implement get on put-only transports,
+* **barrier** rides the same dispatcher (dissemination pattern).
+
+Every rank runs one :meth:`GasRuntime.serve` dispatcher process; user
+code uses the generator API from its own processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..msglib import MessageLibrary
+from ..sim import Resource
+from ..util.units import MiB
+
+__all__ = ["GasRuntime", "GasError"]
+
+_MSG_GET = 1
+_MSG_GET_REPLY = 2
+_MSG_BARRIER = 3
+_MSG_NOTIFY = 4
+_MSG_FADD = 5
+_MSG_FADD_REPLY = 6
+
+_HDR = struct.Struct("<BxxxI")        # type, request id
+_GET = struct.Struct("<QI")            # offset, length
+_BAR = struct.Struct("<II")            # generation, round
+_FADD = struct.Struct("<Qq")           # offset, signed delta
+
+#: Symmetric segment: identical offset inside every rank's local DRAM,
+#: far above the message-library regions.
+DEFAULT_GAS_OFFSET = 64 * MiB
+DEFAULT_GAS_BYTES = 16 * MiB
+
+
+class GasError(RuntimeError):
+    pass
+
+
+class GasRuntime:
+    """One rank's PGAS context: symmetric segment + AM dispatcher."""
+
+    def __init__(self, lib: MessageLibrary,
+                 gas_offset: int = DEFAULT_GAS_OFFSET,
+                 gas_bytes: int = DEFAULT_GAS_BYTES):
+        self.lib = lib
+        self.proc = lib.proc
+        self.sim = lib.sim
+        self.rank = lib.rank
+        self.size = lib.nranks
+        self.gas_offset = gas_offset
+        self.gas_bytes = gas_bytes
+        my_base = lib.rank_base(self.rank)
+        self.local_seg = my_base + gas_offset
+        # Export + map the local segment (UC: remote puts must be seen).
+        lib.driver.restrict_export(self.local_seg, self.local_seg + gas_bytes)
+        lib.driver.mmap_local_export(self.proc.pagetable, self.local_seg,
+                                     gas_bytes, tag="gas-segment")
+        self._remote_mapped: set = set()
+        self._req_ids = itertools.count(1)
+        self._pending_gets: Dict[int, object] = {}      # req id -> Event
+        self._barrier_tokens: Dict[Tuple[int, int, int], object] = {}
+        self._notifies: Deque[Tuple[int, bytes]] = deque()
+        self._notify_waiters: Deque[object] = deque()
+        self._serving = False
+        self._stop = False
+        self.barrier_generation = 0
+        #: serializes atomic read-modify-write cycles on the local segment
+        #: between the dispatcher and this rank's own fadd calls.
+        self._amo_lock = Resource(self.sim, 1, name=f"gas-amo-r{self.rank}")
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def seg_addr(self, rank: int, offset: int) -> int:
+        if not 0 <= offset < self.gas_bytes:
+            raise GasError(f"offset {offset:#x} outside the {self.gas_bytes}-byte segment")
+        return self.lib.rank_base(rank) + self.gas_offset + offset
+
+    def _ensure_remote_mapping(self, rank: int) -> None:
+        if rank in self._remote_mapped or rank == self.rank:
+            return
+        self.lib.driver.mmap_remote(
+            self.proc.pagetable, self.seg_addr(rank, 0), self.gas_bytes,
+            tag=f"gas-seg->{rank}",
+        )
+        self._remote_mapped.add(rank)
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def put(self, rank: int, offset: int, data: bytes):
+        """One-sided relaxed put (native remote store)."""
+        if rank == self.rank:
+            yield from self.proc.store(self.seg_addr(rank, offset), data)
+            return
+        self._ensure_remote_mapping(rank)
+        yield from self.proc.store(self.seg_addr(rank, offset), data)
+
+    def put_notify(self, rank: int, offset: int, data: bytes):
+        """Put + completion notification at the target (one-sided
+        rendezvous in the paper's words)."""
+        yield from self.put(rank, offset, data)
+        yield from self.fence()  # payload strictly before the notify
+        msg = _HDR.pack(_MSG_NOTIFY, 0) + _GET.pack(offset, len(data))
+        ep = self.lib.connect(rank)
+        yield from ep.send(msg)
+        yield from ep.flush()
+
+    def fence(self):
+        """Order all prior puts (sfence)."""
+        yield from self.proc.sfence()
+
+    def local_read(self, offset: int, n: int):
+        data = yield from self.proc.load(self.seg_addr(self.rank, offset), n)
+        return data
+
+    def get(self, rank: int, offset: int, n: int):
+        """Active-message get: request/reply through the dispatcher."""
+        if rank == self.rank:
+            data = yield from self.local_read(offset, n)
+            return data
+        if not self._serving:
+            raise GasError("get() needs the dispatcher: call start() first")
+        req_id = next(self._req_ids)
+        ev = self.sim.event(name=f"gas-get-{req_id}")
+        self._pending_gets[req_id] = ev
+        ep = self.lib.connect(rank)
+        yield from ep.send(_HDR.pack(_MSG_GET, req_id) + _GET.pack(offset, n))
+        yield from ep.flush()
+        data = yield ev
+        return data
+
+    def fadd(self, rank: int, offset: int, delta: int):
+        """Atomic fetch-and-add on a u64 counter in ``rank``'s segment;
+        returns the *previous* value.
+
+        Atomicity holds because exactly one dispatcher process owns each
+        rank's segment, so read-modify-write cycles never interleave --
+        the standard AM-based AMO construction on put-only fabrics.
+        """
+        if rank == self.rank:
+            old = yield from self._local_fadd(offset, delta)
+            return old
+        if not self._serving:
+            raise GasError("fadd() needs the dispatcher: call start() first")
+        req_id = next(self._req_ids)
+        ev = self.sim.event(name=f"gas-fadd-{req_id}")
+        self._pending_gets[req_id] = ev
+        ep = self.lib.connect(rank)
+        yield from ep.send(_HDR.pack(_MSG_FADD, req_id)
+                           + _FADD.pack(offset, delta))
+        yield from ep.flush()
+        raw = yield ev
+        (old,) = struct.unpack("<Q", raw)
+        return old
+
+    def _local_fadd(self, offset: int, delta: int):
+        """The owner-side read-modify-write, serialized by the AMO lock."""
+        yield self._amo_lock.acquire()
+        try:
+            raw = yield from self.local_read(offset, 8)
+            (old,) = struct.unpack("<Q", raw)
+            new = (old + delta) & 0xFFFF_FFFF_FFFF_FFFF
+            yield from self.put(self.rank, offset, struct.pack("<Q", new))
+        finally:
+            self._amo_lock.release()
+        return old
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def barrier(self):
+        """Dissemination barrier through the dispatcher."""
+        self.barrier_generation += 1
+        gen = self.barrier_generation
+        n, me = self.size, self.rank
+        if n == 1:
+            return gen
+        dist = 1
+        rnd = 0
+        while dist < n:
+            out_peer = (me + dist) % n
+            in_peer = (me - dist) % n
+            ep = self.lib.connect(out_peer)
+            yield from ep.send(_HDR.pack(_MSG_BARRIER, 0) + _BAR.pack(gen, rnd))
+            yield from ep.flush()
+            yield from self._await_barrier_token(in_peer, gen, rnd)
+            dist <<= 1
+            rnd += 1
+        return gen
+
+    def _await_barrier_token(self, peer: int, gen: int, rnd: int):
+        key = (peer, gen, rnd)
+        tok = self._barrier_tokens.pop(key, None)
+        if tok is not None:
+            return
+        ev = self.sim.event(name=f"gas-bar-{key}")
+        self._barrier_tokens[key] = ev
+        yield ev
+
+    def wait_notify(self):
+        """Wait for the next put_notify aimed at this rank; returns
+        (offset, length)."""
+        if self._notifies:
+            return self._notifies.popleft()
+        ev = self.sim.event(name="gas-notify")
+        self._notify_waiters.append(ev)
+        item = yield ev
+        return item
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the active-message dispatcher process."""
+        if self._serving:
+            return
+        self._serving = True
+        for r in range(self.size):
+            if r != self.rank:
+                self.lib.connect(r)
+        self.sim.process(self._serve(), name=f"gas-serve-r{self.rank}")
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def _serve(self):
+        t = self.proc.core.chip.timing
+        while not self._stop:
+            progressed = False
+            for ep in self.lib.endpoints():
+                msg = yield from ep.try_recv()
+                if msg is None:
+                    continue
+                progressed = True
+                yield from self._dispatch(ep.peer, msg)
+            if not progressed:
+                yield self.sim.timeout(4 * t.poll_iteration_ns)
+
+    def _dispatch(self, src: int, msg: bytes):
+        mtype, req_id = _HDR.unpack_from(msg, 0)
+        body = msg[_HDR.size:]
+        if mtype == _MSG_GET:
+            offset, n = _GET.unpack_from(body, 0)
+            data = yield from self.local_read(offset, n)
+            ep = self.lib.connect(src)
+            yield from ep.send(_HDR.pack(_MSG_GET_REPLY, req_id) + data)
+            yield from ep.flush()
+        elif mtype == _MSG_GET_REPLY:
+            ev = self._pending_gets.pop(req_id, None)
+            if ev is None:
+                raise GasError(f"reply for unknown get {req_id}")
+            ev.succeed(body)
+        elif mtype == _MSG_BARRIER:
+            gen, rnd = _BAR.unpack_from(body, 0)
+            key = (src, gen, rnd)
+            waiter = self._barrier_tokens.pop(key, None)
+            if waiter is not None:
+                waiter.succeed()
+            else:
+                self._barrier_tokens[key] = True  # arrived early
+        elif mtype == _MSG_FADD:
+            offset, delta = _FADD.unpack_from(body, 0)
+            old = yield from self._local_fadd(offset, delta)
+            ep = self.lib.connect(src)
+            yield from ep.send(_HDR.pack(_MSG_FADD_REPLY, req_id)
+                               + struct.pack("<Q", old))
+            yield from ep.flush()
+        elif mtype == _MSG_FADD_REPLY:
+            ev = self._pending_gets.pop(req_id, None)
+            if ev is None:
+                raise GasError(f"reply for unknown fadd {req_id}")
+            ev.succeed(body[:8])
+        elif mtype == _MSG_NOTIFY:
+            offset, n = _GET.unpack_from(body, 0)
+            if self._notify_waiters:
+                self._notify_waiters.popleft().succeed((offset, n))
+            else:
+                self._notifies.append((offset, n))
+        else:
+            raise GasError(f"unknown GAS message type {mtype}")

@@ -1,0 +1,47 @@
+"""User-space message library: rings, eager/rendezvous, flow control."""
+
+from .config import (
+    MsgConfig,
+    RegionLayout,
+    RENDEZVOUS_MARKER,
+    SLOT_BYTES,
+    SLOT_HEADER,
+    SLOT_PAYLOAD,
+)
+from .endpoint import Endpoint, EndpointStats, MessageError
+from .library import MessageLibrary
+from .onesided import OneSidedRegion
+from .slots import (
+    pack_feedback,
+    pack_rendezvous_control,
+    pack_slot,
+    slots_needed,
+    unpack_feedback,
+    unpack_header,
+    unpack_payload,
+    unpack_rendezvous_control,
+)
+from .sync import ClusterBarrier
+
+__all__ = [
+    "MsgConfig",
+    "RegionLayout",
+    "MessageLibrary",
+    "OneSidedRegion",
+    "Endpoint",
+    "EndpointStats",
+    "MessageError",
+    "ClusterBarrier",
+    "SLOT_BYTES",
+    "SLOT_HEADER",
+    "SLOT_PAYLOAD",
+    "RENDEZVOUS_MARKER",
+    "pack_slot",
+    "unpack_header",
+    "unpack_payload",
+    "pack_rendezvous_control",
+    "unpack_rendezvous_control",
+    "pack_feedback",
+    "unpack_feedback",
+    "slots_needed",
+]

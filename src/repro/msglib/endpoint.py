@@ -1,0 +1,339 @@
+"""A communication endpoint: one peer pair's send/receive machinery.
+
+Implements the protocol of paper Section IV.A on top of raw remote
+stores:
+
+* **eager path** -- messages up to ``eager_max`` travel inside ring slots;
+  "sending is performed by writing to a specific address that is mapped
+  to a remote node ... written to a ring buffer in main memory at the
+  target node",
+* **rendezvous path** -- larger payloads are "written directly to the
+  final destination on the remote node and an additional queue is used
+  for synchronization",
+* **polling receive** -- "Receiving of messages is implemented by polling
+  the corresponding address on the target node",
+* **flow control** -- "Periodically, the APIs on the endpoints have to
+  exchange pointer information to communicate buffer fill levels".
+
+Send ordering modes mirror Figure 6: ``"weak"`` lets write-combining
+buffers drain on their own (fastest); ``"strict"`` issues an sfence per
+cache line ("after each cache line sized store operation an Sfence
+instruction is triggered").
+
+All public methods are generators driven inside a simulation process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..util.units import CACHELINE
+from .config import RENDEZVOUS_MARKER, SLOT_BYTES, SLOT_PAYLOAD
+from .slots import (
+    pack_feedback,
+    pack_rendezvous_control,
+    pack_slot,
+    slots_needed,
+    unpack_feedback,
+    unpack_header,
+    unpack_payload,
+    unpack_rendezvous_control,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .library import MessageLibrary
+
+__all__ = ["Endpoint", "EndpointStats", "MessageError"]
+
+
+class MessageError(RuntimeError):
+    """Protocol violation (oversized message, corrupt slot...)."""
+
+
+class EndpointStats:
+    def __init__(self) -> None:
+        self.msgs_sent = 0
+        self.msgs_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.eager_sent = 0
+        self.rendezvous_sent = 0
+        self.tx_stalls = 0
+        self.polls = 0
+        self.feedback_writes = 0
+
+
+class Endpoint:
+    """Bidirectional channel between this rank and ``peer_rank``."""
+
+    def __init__(self, lib: "MessageLibrary", peer_rank: int):
+        self.lib = lib
+        self.proc = lib.proc
+        self.sim = lib.sim
+        self.cfg = lib.cfg
+        self.layout = lib.layout
+        self.me = lib.rank
+        self.peer = peer_rank
+        my_base = lib.rank_base(self.me)
+        peer_base = lib.rank_base(peer_rank)
+        lo = self.layout
+        # Transmit: my flow into the peer's memory.
+        self.tx_ring_addr = peer_base + lo.ring_of_sender(self.me)
+        self.tx_heap_addr = peer_base + lo.heap_of_sender(self.me)
+        #: acknowledgement line the peer writes into *my* memory.
+        self.tx_fb_addr = my_base + lo.feedback_of_peer(peer_rank)
+        # Receive: the peer's flow into my memory.
+        self.rx_ring_addr = my_base + lo.ring_of_sender(peer_rank)
+        self.rx_heap_addr = my_base + lo.heap_of_sender(peer_rank)
+        #: acknowledgement line I write into the peer's memory.
+        self.rx_fb_addr = peer_base + lo.feedback_of_peer(self.me)
+        # TX state
+        self.send_seq = 0        # slots pushed into the peer's ring
+        self.acked_slots = 0
+        self.heap_sent = 0       # monotonically increasing heap cursor
+        self.heap_acked = 0
+        # RX state
+        self.recv_seq = 0        # slots consumed from my ring
+        self.heap_recvd = 0
+        self.fb_sent_slots = 0
+        self.fb_sent_heap = 0
+        self.stats = EndpointStats()
+
+    # ------------------------------------------------------------------
+    # Send
+    # ------------------------------------------------------------------
+    def send(self, data: bytes, mode: str = "weak"):
+        """Transmit ``data``; completes when every store has left the core
+        (posted semantics -- delivery is guaranteed by HT, not signalled)."""
+        if not data:
+            raise MessageError("empty message")
+        if mode not in ("weak", "strict"):
+            raise MessageError(f"unknown ordering mode {mode!r}")
+        yield self.sim.timeout(self.proc.core.chip.timing.send_overhead_ns)
+        if len(data) <= self.cfg.eager_max:
+            yield from self._send_eager(data, mode)
+            self.stats.eager_sent += 1
+        else:
+            yield from self._send_rendezvous(data, mode)
+            self.stats.rendezvous_sent += 1
+        self.stats.msgs_sent += 1
+        self.stats.bytes_sent += len(data)
+
+    def _slot_tx_addr(self, seq: int) -> int:
+        return self.tx_ring_addr + ((seq - 1) % self.cfg.nslots) * SLOT_BYTES
+
+    def _send_eager(self, data: bytes, mode: str):
+        remaining = len(data)
+        pos = 0
+        while remaining > 0:
+            yield from self._wait_tx_slots(1)
+            seq = self.send_seq + 1
+            chunk = data[pos : pos + SLOT_PAYLOAD]
+            slot = pack_slot(seq, remaining, chunk)
+            yield from self.proc.store(self._slot_tx_addr(seq), slot)
+            if mode == "strict":
+                yield from self.proc.sfence()
+            self.send_seq = seq
+            pos += len(chunk)
+            remaining -= len(chunk)
+
+    def _send_rendezvous(self, data: bytes, mode: str):
+        need = -(-len(data) // CACHELINE) * CACHELINE  # round up to lines
+        if need > self.cfg.heap_bytes:
+            raise MessageError(
+                f"message of {len(data)} bytes exceeds the {self.cfg.heap_bytes}"
+                "-byte rendezvous heap"
+            )
+        offset = self.heap_sent % self.cfg.heap_bytes
+        if offset + need > self.cfg.heap_bytes:
+            # Skip the tail so the payload stays contiguous.
+            pad = self.cfg.heap_bytes - offset
+            yield from self._wait_heap(pad + need)
+            self.heap_sent += pad
+            offset = 0
+        else:
+            yield from self._wait_heap(need)
+        addr = self.tx_heap_addr + offset
+        padded = data.ljust(need, b"\x00")
+        if mode == "strict":
+            for off in range(0, need, CACHELINE):
+                yield from self.proc.store(addr + off, padded[off : off + CACHELINE])
+                yield from self.proc.sfence()
+        else:
+            yield from self.proc.store(addr, padded)
+        # Payload must be globally ordered before the control slot.
+        yield from self.proc.sfence()
+        self.heap_sent += need
+        yield from self._wait_tx_slots(1)
+        seq = self.send_seq + 1
+        ctrl = pack_rendezvous_control(seq, offset, len(data), self.heap_sent)
+        yield from self.proc.store(self._slot_tx_addr(seq), ctrl)
+        if mode == "strict":
+            yield from self.proc.sfence()
+        self.send_seq = seq
+
+    def flush(self):
+        """Drain write-combining buffers (finalize weakly-ordered sends)."""
+        yield from self.proc.sfence()
+
+    # -- transmit-side flow control --------------------------------------
+    def _free_tx_slots(self) -> int:
+        return self.cfg.nslots - (self.send_seq - self.acked_slots)
+
+    def _wait_tx_slots(self, n: int):
+        while self._free_tx_slots() < n:
+            self.stats.tx_stalls += 1
+            yield from self._refresh_ack()
+            if self._free_tx_slots() >= n:
+                break
+            yield self.sim.timeout(self.proc.core.chip.timing.poll_iteration_ns)
+
+    def _wait_heap(self, need: int):
+        while self.heap_sent - self.heap_acked + need > self.cfg.heap_bytes:
+            self.stats.tx_stalls += 1
+            yield from self._refresh_ack()
+            if self.heap_sent - self.heap_acked + need <= self.cfg.heap_bytes:
+                break
+            yield self.sim.timeout(self.proc.core.chip.timing.poll_iteration_ns)
+
+    def _refresh_ack(self):
+        raw = yield from self.proc.load(self.tx_fb_addr, 16)
+        slots, heap = unpack_feedback(raw)
+        # Monotonicity guard: a torn/stale read must never move acks back.
+        if slots > self.acked_slots:
+            if slots > self.send_seq:
+                raise MessageError("peer acknowledged slots never sent")
+            self.acked_slots = slots
+        if heap > self.heap_acked:
+            if heap > self.heap_sent:
+                raise MessageError("peer acknowledged heap bytes never sent")
+            self.heap_acked = heap
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+    def _slot_rx_addr(self, seq: int) -> int:
+        return self.rx_ring_addr + ((seq - 1) % self.cfg.nslots) * SLOT_BYTES
+
+    def recv(self):
+        """Block (poll) until the next message is complete; returns bytes."""
+        t = self.proc.core.chip.timing
+        raw = yield from self._poll_slot(self.recv_seq + 1)
+        seq, length = unpack_header(raw)
+        if length == RENDEZVOUS_MARKER:
+            offset, plen, heap_end = unpack_rendezvous_control(raw)
+            data = yield from self._bulk_read(self.rx_heap_addr + offset, plen)
+            self.recv_seq += 1
+            self.heap_recvd = heap_end
+            yield from self._maybe_feedback(force=True)
+        elif slots_needed(length) == 1:
+            data = unpack_payload(raw, length)
+            self.recv_seq += 1
+            yield from self._maybe_feedback()
+        else:
+            data = yield from self._recv_multislot(raw, length)
+            yield from self._maybe_feedback()
+        yield self.sim.timeout(t.recv_overhead_ns)
+        self.stats.msgs_received += 1
+        self.stats.bytes_received += len(data)
+        return bytes(data)
+
+    def try_recv(self):
+        """Non-blocking probe: returns the message or None."""
+        raw = yield from self.proc.load(self._slot_rx_addr(self.recv_seq + 1), 8)
+        seq, _ = unpack_header(raw)
+        if seq != self.recv_seq + 1:
+            return None
+        data = yield from self.recv()
+        return data
+
+    def _poll_slot(self, want_seq: int):
+        """Spin on a slot until its sequence number appears."""
+        addr = self._slot_rx_addr(want_seq)
+        t = self.proc.core.chip.timing
+        flushed_idle_fb = False
+        while True:
+            self.stats.polls += 1
+            raw = yield from self.proc.load(addr, SLOT_BYTES)
+            seq, _ = unpack_header(raw)
+            if seq == want_seq:
+                return raw
+            if seq > want_seq:
+                raise MessageError(
+                    f"ring overrun: found seq {seq} while waiting for "
+                    f"{want_seq} (flow control violated)"
+                )
+            if not flushed_idle_fb:
+                # We are idle: push any acknowledgement debt so a blocked
+                # sender can make progress.
+                flushed_idle_fb = True
+                yield from self._maybe_feedback(force=self._fb_debt() > 0)
+            yield self.sim.timeout(t.poll_iteration_ns)
+
+    def _recv_multislot(self, first_raw: bytes, length: int):
+        k = slots_needed(length)
+        last_seq = self.recv_seq + k
+        # In-order posted delivery: once the last slot shows up, the whole
+        # span is in memory; sync on it, then bulk-read the middle.
+        yield from self._poll_slot(last_seq)
+        spans = self._ring_spans(self.recv_seq + 2, last_seq - 1)
+        middle_raw = b""
+        for (addr, nbytes) in spans:
+            chunk = yield from self._bulk_read(addr, nbytes)
+            middle_raw += chunk
+        data = bytearray(unpack_payload(first_raw, min(length, SLOT_PAYLOAD)))
+        got = len(data)
+        for i in range(0, len(middle_raw), SLOT_BYTES):
+            take = min(SLOT_PAYLOAD, length - got)
+            data += unpack_payload(middle_raw[i : i + SLOT_BYTES], take)
+            got += take
+        if got < length:
+            last_raw = yield from self.proc.load(self._slot_rx_addr(last_seq),
+                                                 SLOT_BYTES)
+            data += unpack_payload(last_raw, length - got)
+        self.recv_seq += k
+        if len(data) != length:
+            raise MessageError(f"reassembled {len(data)} of {length} bytes")
+        return bytes(data)
+
+    def _ring_spans(self, first_seq: int, last_seq: int) -> List[Tuple[int, int]]:
+        """Contiguous [addr, nbytes) runs covering slots first..last."""
+        if last_seq < first_seq:
+            return []
+        spans: List[Tuple[int, int]] = []
+        n = self.cfg.nslots
+        seq = first_seq
+        while seq <= last_seq:
+            idx = (seq - 1) % n
+            run = min(last_seq - seq + 1, n - idx)
+            spans.append((self.rx_ring_addr + idx * SLOT_BYTES, run * SLOT_BYTES))
+            seq += run
+        return spans
+
+    def _bulk_read(self, addr: int, nbytes: int):
+        out = bytearray()
+        pos = 0
+        while pos < nbytes:
+            n = min(self.cfg.read_chunk, nbytes - pos)
+            chunk = yield from self.proc.load(addr + pos, n)
+            out += chunk
+            pos += n
+        return bytes(out)
+
+    # -- receive-side flow control ------------------------------------------
+    def _fb_debt(self) -> int:
+        return self.recv_seq - self.fb_sent_slots
+
+    def _maybe_feedback(self, force: bool = False):
+        if not force and self._fb_debt() < self.cfg.fb_interval_slots:
+            return
+        if self._fb_debt() == 0 and self.heap_recvd == self.fb_sent_heap:
+            return
+        line = pack_feedback(self.recv_seq, self.heap_recvd)
+        yield from self.proc.store(self.rx_fb_addr, line)
+        self.fb_sent_slots = self.recv_seq
+        self.fb_sent_heap = self.heap_recvd
+        self.stats.feedback_writes += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint {self.me}->{self.peer}>"

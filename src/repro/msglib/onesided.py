@@ -1,0 +1,99 @@
+"""One-sided rendezvous communication (paper Section IV.A).
+
+    "Remote stores can also be utilized to implement one-sided rendezvous
+    like communication.  In this case data is written directly to the
+    final destination on the remote node and an additional queue is used
+    for synchronization and management."
+
+:class:`OneSidedRegion` is that primitive, symmetric on both ranks:
+
+* each side registers a region of its exported local DRAM as the landing
+  zone (the *final destination* -- no copies at the receiver),
+* ``put(offset, data)`` stores straight into the peer's region, sfences,
+  and pushes an (offset, length) descriptor through the regular ring
+  endpoint -- the "additional queue",
+* ``wait_put()`` blocks on the queue and hands back the descriptor; the
+  data is already in place and readable via ``read_local``.
+
+Unlike the PGAS runtime this needs no dispatcher process: the queue is
+the pair's ordinary endpoint, so notifications arrive in put order.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from ..kernel.pagetable import PAGE_SIZE
+from .endpoint import Endpoint, MessageError
+from .library import MessageLibrary
+
+__all__ = ["OneSidedRegion"]
+
+_DESC = struct.Struct("<QQ")  # offset, length
+
+
+class OneSidedRegion:
+    """A symmetric put-target region between this rank and one peer."""
+
+    def __init__(self, lib: MessageLibrary, peer: int,
+                 region_offset: int, region_bytes: int):
+        """``region_offset`` is relative to each rank's local DRAM base and
+        must be identical on both sides (symmetric allocation)."""
+        if region_offset % PAGE_SIZE or region_bytes % PAGE_SIZE:
+            raise MessageError("one-sided region must be page aligned")
+        if region_bytes <= 0:
+            raise MessageError("empty one-sided region")
+        self.lib = lib
+        self.proc = lib.proc
+        self.peer = peer
+        self.region_bytes = region_bytes
+        self.endpoint: Endpoint = lib.connect(peer)
+        my_base = lib.rank_base(lib.rank)
+        peer_base = lib.rank_base(peer)
+        self.local_addr = my_base + region_offset
+        self.remote_addr = peer_base + region_offset
+        # Receive side: my region, exported + UC so puts are visible.
+        lib.driver.restrict_export(self.local_addr,
+                                   self.local_addr + region_bytes)
+        lib.driver.mmap_local_export(self.proc.pagetable, self.local_addr,
+                                     region_bytes, tag=f"1s-local<-{peer}")
+        # Transmit side: the peer's region, write-only WC.
+        lib.driver.mmap_remote(self.proc.pagetable, self.remote_addr,
+                               region_bytes, tag=f"1s-remote->{peer}")
+        self.puts = 0
+        self.received = 0
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length <= 0 or offset + length > self.region_bytes:
+            raise MessageError(
+                f"one-sided access [{offset:#x}, +{length}) outside the "
+                f"{self.region_bytes}-byte region"
+            )
+
+    def put(self, offset: int, data: bytes):
+        """Write ``data`` directly to the peer's region + notify."""
+        self._check(offset, len(data))
+        yield from self.proc.store(self.remote_addr + offset, data)
+        # Payload must be globally visible before the descriptor.
+        yield from self.proc.sfence()
+        yield from self.endpoint.send(_DESC.pack(offset, len(data)))
+        yield from self.endpoint.flush()
+        self.puts += 1
+
+    def wait_put(self) -> Tuple[int, int]:
+        """Generator: next (offset, length) descriptor, data already
+        resident in the local region."""
+        raw = yield from self.endpoint.recv()
+        if len(raw) != _DESC.size:
+            raise MessageError("foreign traffic on the one-sided queue")
+        offset, length = _DESC.unpack(raw)
+        self._check(offset, length)
+        self.received += 1
+        return offset, length
+
+    def read_local(self, offset: int, length: int):
+        """Read the landed bytes (UC, so always fresh)."""
+        self._check(offset, length)
+        data = yield from self.proc.load(self.local_addr + offset, length)
+        return data

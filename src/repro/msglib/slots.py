@@ -1,0 +1,86 @@
+"""Ring-slot wire format.
+
+One slot is one cache line and therefore one HT posted write, which makes
+it *atomic* at the receiver: when the sequence number is visible, the
+whole slot is.  Multi-slot messages rely on per-VC in-order delivery: the
+receiver syncs on the last slot's sequence number and may then bulk-read
+the span.
+
+Layout (little endian):
+
+    u32 seq      -- global slot counter of this flow, starting at 1
+    u32 len      -- total message bytes (first slot), remaining bytes
+                    (continuation slots), or RENDEZVOUS_MARKER
+    56 B payload
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from .config import RENDEZVOUS_MARKER, SLOT_BYTES, SLOT_HEADER, SLOT_PAYLOAD
+
+__all__ = [
+    "pack_slot",
+    "unpack_header",
+    "unpack_payload",
+    "pack_rendezvous_control",
+    "unpack_rendezvous_control",
+    "pack_feedback",
+    "unpack_feedback",
+    "slots_needed",
+    "RENDEZVOUS_MARKER",
+]
+
+_HDR = struct.Struct("<II")
+_RDZV = struct.Struct("<QQQ")   # heap offset, payload len, heap end cursor
+_FB = struct.Struct("<QQ")      # slots consumed, heap bytes consumed
+
+
+def slots_needed(msg_len: int) -> int:
+    """Ring slots an eager message of ``msg_len`` bytes occupies."""
+    if msg_len <= 0:
+        raise ValueError("empty message")
+    return (msg_len + SLOT_PAYLOAD - 1) // SLOT_PAYLOAD
+
+
+def pack_slot(seq: int, length: int, payload: bytes) -> bytes:
+    """Build the 64-byte slot image (payload zero-padded)."""
+    if seq <= 0 or seq >= 1 << 32:
+        raise ValueError(f"slot seq {seq} out of u32 range (must be nonzero)")
+    if len(payload) > SLOT_PAYLOAD:
+        raise ValueError(f"payload {len(payload)} exceeds {SLOT_PAYLOAD}")
+    return _HDR.pack(seq, length) + payload.ljust(SLOT_PAYLOAD, b"\x00")
+
+
+def unpack_header(raw: bytes) -> Tuple[int, int]:
+    """(seq, len) from the first 8 bytes of a slot."""
+    return _HDR.unpack_from(raw, 0)
+
+
+def unpack_payload(raw: bytes, nbytes: int) -> bytes:
+    if nbytes > SLOT_PAYLOAD:
+        raise ValueError("slot payload overrun")
+    return raw[SLOT_HEADER : SLOT_HEADER + nbytes]
+
+
+def pack_rendezvous_control(seq: int, heap_offset: int, length: int,
+                            heap_end: int) -> bytes:
+    """A control slot announcing a large payload parked in the heap."""
+    body = _RDZV.pack(heap_offset, length, heap_end)
+    return _HDR.pack(seq, RENDEZVOUS_MARKER) + body.ljust(SLOT_PAYLOAD, b"\x00")
+
+
+def unpack_rendezvous_control(raw: bytes) -> Tuple[int, int, int]:
+    """(heap_offset, length, heap_end) from a control slot."""
+    return _RDZV.unpack_from(raw, SLOT_HEADER)
+
+
+def pack_feedback(slots_consumed: int, heap_consumed: int) -> bytes:
+    """The 64-byte acknowledgement line a receiver writes back."""
+    return _FB.pack(slots_consumed, heap_consumed).ljust(SLOT_BYTES, b"\x00")
+
+
+def unpack_feedback(raw: bytes) -> Tuple[int, int]:
+    return _FB.unpack_from(raw, 0)

@@ -1,0 +1,60 @@
+"""Synchronization primitives built on remote stores.
+
+Paper Section IV.A: "global synchronization messages implemented through
+remote stores are used to enforce strict sequential consistency.  They can
+be realized through API managed software barriers", and Section VI: "The
+message library will offer support for synchronization primitives using
+the Sfence machine instruction."
+
+:class:`ClusterBarrier` is a dissemination barrier: in round k every rank
+sends a token to rank (me + 2^k) mod n and waits for the token from
+(me - 2^k) mod n -- log2(n) rounds of small eager messages, each finalized
+with an sfence.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from .endpoint import MessageError
+from .library import MessageLibrary
+
+__all__ = ["ClusterBarrier"]
+
+_TOKEN = struct.Struct("<II")  # generation, round
+
+
+class ClusterBarrier:
+    """Dissemination barrier over message-library endpoints."""
+
+    def __init__(self, lib: MessageLibrary):
+        self.lib = lib
+        self.n = lib.nranks
+        self.generation = 0
+        self._rounds = max(1, (self.n - 1).bit_length())
+
+    def wait(self):
+        """Generator: returns when every rank has entered the barrier."""
+        self.generation += 1
+        gen = self.generation
+        me, n = self.lib.rank, self.n
+        if n == 1:
+            return gen
+        dist = 1
+        for rnd in range(self._rounds):
+            peer_out = (me + dist) % n
+            peer_in = (me - dist) % n
+            ep_out = self.lib.connect(peer_out)
+            ep_in = self.lib.connect(peer_in)
+            yield from ep_out.send(_TOKEN.pack(gen, rnd))
+            yield from ep_out.flush()  # sfence: the token must leave now
+            data = yield from ep_in.recv()
+            got_gen, got_rnd = _TOKEN.unpack(data[:8])
+            if (got_gen, got_rnd) != (gen, rnd):
+                raise MessageError(
+                    f"barrier token mismatch: got gen {got_gen} round "
+                    f"{got_rnd}, expected {gen}/{rnd}"
+                )
+            dist <<= 1
+        return gen

@@ -1,0 +1,66 @@
+"""Opteron K10 node model: registers, caches, WC buffers, northbridge."""
+
+from .caches import CacheHierarchy, CacheLevel
+from .chip import InterruptRecord, OpteronChip, PortBinding, wire_link
+from .core import CoreFault, CpuCore
+from .memory import Memory, MemoryController, MemoryError_
+from .mtrr import MTRR, MTRRError, MTRRSet, MemoryType
+from .northbridge import AddressMapError, MasterAbort, Northbridge, RouteKind, RouteResult
+from .registers import (
+    GRANULARITY,
+    NUM_LINKS,
+    NUM_MAP_ENTRIES,
+    RESET_NODEID,
+    DramConfigAccessor,
+    DramPairAccessor,
+    Function,
+    HtInitControlAccessor,
+    LinkControlAccessor,
+    LinkFreqAccessor,
+    MiscControlAccessor,
+    MmioPairAccessor,
+    NodeIDAccessor,
+    RegisterFile,
+    RoutingTableAccessor,
+)
+from .wc import FlushOp, WriteCombiner
+
+__all__ = [
+    "OpteronChip",
+    "PortBinding",
+    "InterruptRecord",
+    "wire_link",
+    "CpuCore",
+    "CoreFault",
+    "Northbridge",
+    "RouteKind",
+    "RouteResult",
+    "MasterAbort",
+    "AddressMapError",
+    "Memory",
+    "MemoryController",
+    "MemoryError_",
+    "MTRR",
+    "MTRRSet",
+    "MTRRError",
+    "MemoryType",
+    "CacheHierarchy",
+    "CacheLevel",
+    "WriteCombiner",
+    "FlushOp",
+    "RegisterFile",
+    "Function",
+    "NodeIDAccessor",
+    "RoutingTableAccessor",
+    "LinkControlAccessor",
+    "LinkFreqAccessor",
+    "HtInitControlAccessor",
+    "DramPairAccessor",
+    "MmioPairAccessor",
+    "DramConfigAccessor",
+    "MiscControlAccessor",
+    "GRANULARITY",
+    "NUM_LINKS",
+    "NUM_MAP_ENTRIES",
+    "RESET_NODEID",
+]

@@ -1,0 +1,145 @@
+"""Cache model: data-holding, LRU, deliberately *not* snooped by TCC writes.
+
+The purpose of this model is behavioural fidelity of the one cache property
+TCCluster depends on (paper Section VI):
+
+    "TCCluster transactions cannot generate cache invalidation requests on
+    the receiver side.  Therefore, the receiver needs to map the local
+    memory which is accessible by the remote nodes as uncachable."
+
+Cached lines hold real byte copies.  Incoming TCCluster posted writes
+update DRAM but never touch the cache, so a receive ring mapped write-back
+(instead of uncacheable) observably returns stale data -- the integration
+tests assert this failure mode, and the MTRR-programming boot step exists
+to prevent it.
+
+Capacity/latency are modeled as a three-level hierarchy with the Shanghai
+parameters from the calibration module; lookups report which level hit so
+the core can charge the right latency.  Intra-chip sharing between the four
+cores goes through the shared L3 and is modeled as instantaneous (the
+inter-*chip* coherence cost model lives in :mod:`repro.coherence`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+from ..util.units import CACHELINE
+
+__all__ = ["CacheHierarchy", "CacheLevel"]
+
+
+class CacheLevel:
+    """One level: an LRU set of line copies."""
+
+    def __init__(self, name: str, capacity_bytes: int, hit_latency_ns: float):
+        if capacity_bytes % CACHELINE:
+            raise ValueError("cache capacity must be a line multiple")
+        self.name = name
+        self.capacity_lines = capacity_bytes // CACHELINE
+        self.hit_latency_ns = hit_latency_ns
+        self._lines: "OrderedDict[int, bytearray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[bytearray]:
+        line = self._lines.get(line_addr)
+        if line is None:
+            self.misses += 1
+            return None
+        if touch:
+            self._lines.move_to_end(line_addr)
+        self.hits += 1
+        return line
+
+    def fill(self, line_addr: int, data: bytes) -> Optional[Tuple[int, bytes]]:
+        """Insert a line; returns the evicted (addr, data) if any."""
+        if len(data) != CACHELINE:
+            raise ValueError("fill must be a full line")
+        evicted = None
+        if line_addr not in self._lines and len(self._lines) >= self.capacity_lines:
+            old_addr, old_data = self._lines.popitem(last=False)
+            evicted = (old_addr, bytes(old_data))
+        self._lines[line_addr] = bytearray(data)
+        self._lines.move_to_end(line_addr)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        return self._lines.pop(line_addr, None) is not None
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+class CacheHierarchy:
+    """L1 + L2 (per core) + shared L3 of a Shanghai chip.
+
+    Shared across the chip's cores in this model; per-core partitioning is
+    not observable by anything TCCluster measures.
+    """
+
+    def __init__(self, timing: TimingModel = DEFAULT_TIMING,
+                 l1_bytes: int = 64 << 10, l2_bytes: int = 512 << 10,
+                 l3_bytes: int = 4 << 20):
+        self.timing = timing
+        self.l1 = CacheLevel("L1", l1_bytes, timing.l1_hit_ns)
+        self.l2 = CacheLevel("L2", l2_bytes, timing.l2_hit_ns)
+        self.l3 = CacheLevel("L3", l3_bytes, timing.l3_hit_ns)
+        self.levels = (self.l1, self.l2, self.l3)
+
+    @staticmethod
+    def line_of(addr: int) -> int:
+        return addr & ~(CACHELINE - 1)
+
+    def read_line(self, line_addr: int) -> Tuple[Optional[bytes], float]:
+        """Look a line up; returns (data-or-None, latency_ns).
+
+        A hit in an outer level promotes the line inward (simple inclusive
+        behaviour).
+        """
+        latency = 0.0
+        for level in self.levels:
+            latency += level.hit_latency_ns
+            line = level.lookup(line_addr)
+            if line is not None:
+                if level is not self.l1:
+                    self.l1.fill(line_addr, bytes(line))
+                return bytes(line), latency
+        return None, latency
+
+    def fill_line(self, line_addr: int, data: bytes) -> None:
+        """Install a line fetched from DRAM into all levels (inclusive)."""
+        for level in self.levels:
+            level.fill(line_addr, data)
+
+    def write_line_if_present(self, line_addr: int, offset: int, data: bytes) -> bool:
+        """Update cached copies on a WB store (write-through model).
+
+        Returns True if any level held the line.
+        """
+        if offset + len(data) > CACHELINE:
+            raise ValueError("write crosses line boundary")
+        present = False
+        for level in self.levels:
+            line = level.lookup(line_addr, touch=False)
+            if line is not None:
+                line[offset : offset + len(data)] = data
+                present = True
+        return present
+
+    def invalidate_line(self, line_addr: int) -> bool:
+        """Coherence-probe invalidation (used by the MESI substrate --
+        *never* by incoming TCCluster writes; that is the point)."""
+        hit = False
+        for level in self.levels:
+            hit |= level.invalidate(line_addr)
+        return hit
+
+    def flush_all(self) -> None:
+        for level in self.levels:
+            level._lines.clear()

@@ -1,0 +1,253 @@
+"""The assembled Opteron node: cores, caches, northbridge, DRAM, links.
+
+Mirrors paper Figure 1 ("AMD Opteron Chip Architecture: Multiple modules
+including memory controllers and a crossbar switch are integrated on a
+single processor chip"): four cores with L1/L2 and a shared L3, a DDR2
+memory controller, an IO bridge, up to four HyperTransport link ports and
+the crossbar/router (:class:`repro.opteron.northbridge.Northbridge`).
+
+The chip also wires register side effects:
+
+* writing the warm-reset bit of F0x6C re-trains all attached links with
+  the pending (force-non-coherent, width, frequency) values -- the paper's
+  "Warm Reset" boot step,
+* link training outcomes are reflected back into the Link Control status
+  bits so firmware can observe what it got.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ht.link import Link, LinkSide
+from ..ht.linkinit import LinkInitFSM
+from ..ht.packet import Packet, make_broadcast
+from ..sim import Simulator, Tracer, NULL_TRACER
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+from ..util.units import MiB
+from .caches import CacheHierarchy
+from .core import CpuCore
+from .memory import Memory, MemoryController
+from .mtrr import MTRRSet, MemoryType
+from .northbridge import Northbridge
+from .registers import (
+    F0_HT_INIT_CONTROL,
+    DramConfigAccessor,
+    DramPairAccessor,
+    Function,
+    HtInitControlAccessor,
+    LinkControlAccessor,
+    LinkFreqAccessor,
+    MiscControlAccessor,
+    MmioPairAccessor,
+    NodeIDAccessor,
+    RegisterFile,
+    RoutingTableAccessor,
+    NUM_LINKS,
+)
+
+__all__ = ["OpteronChip", "PortBinding", "InterruptRecord", "wire_link"]
+
+
+@dataclass
+class PortBinding:
+    """One HT port: the attached link, which side we are, and its FSM."""
+
+    port: int
+    link: Link
+    side: str
+    fsm: LinkInitFSM
+
+
+@dataclass(frozen=True)
+class InterruptRecord:
+    time: float
+    vector: int
+    smc: bool
+
+
+class OpteronChip:
+    """One simulated Shanghai Opteron node."""
+
+    NUM_CORES = 4
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        memory_bytes: int = 512 * MiB,
+        timing: TimingModel = DEFAULT_TIMING,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.sim = sim
+        self.name = name
+        self.timing = timing
+        self.tracer = tracer
+        self.regs = RegisterFile()
+        self.memory = Memory(memory_bytes)
+        self.memctrl = MemoryController(sim, self.memory, timing, name=f"{name}.mc")
+        self.caches = CacheHierarchy(timing)
+        self.mtrr = MTRRSet(default=MemoryType.WB)
+        self.ports: Dict[int, PortBinding] = {}
+        self.nb = Northbridge(sim, self)
+        self.cores: List[CpuCore] = [CpuCore(self, i) for i in range(self.NUM_CORES)]
+        self.interrupts: List[InterruptRecord] = []
+        self._in_reset_hook = False
+        self.regs.add_write_hook(self._on_reg_write)
+
+    # -- convenient accessors -------------------------------------------------
+    @property
+    def nodeid(self) -> int:
+        return NodeIDAccessor(self.regs).nodeid
+
+    def node_id_reg(self) -> NodeIDAccessor:
+        return NodeIDAccessor(self.regs)
+
+    def routing_table(self, dest_node: int) -> RoutingTableAccessor:
+        return RoutingTableAccessor(self.regs, dest_node)
+
+    def link_control(self, port: int) -> LinkControlAccessor:
+        return LinkControlAccessor(self.regs, port)
+
+    def link_freq(self, port: int) -> LinkFreqAccessor:
+        return LinkFreqAccessor(self.regs, port)
+
+    def dram_pair(self, index: int) -> DramPairAccessor:
+        return DramPairAccessor(self.regs, index)
+
+    def mmio_pair(self, index: int) -> MmioPairAccessor:
+        return MmioPairAccessor(self.regs, index)
+
+    def dram_config(self) -> DramConfigAccessor:
+        return DramConfigAccessor(self.regs)
+
+    def misc_control(self) -> MiscControlAccessor:
+        return MiscControlAccessor(self.regs)
+
+    # -- link topology -----------------------------------------------------------
+    def attach_link(self, port: int, link: Link, side: str, fsm: LinkInitFSM) -> None:
+        if not 0 <= port < NUM_LINKS:
+            raise ValueError(f"port {port} out of range")
+        if port in self.ports:
+            raise ValueError(f"{self.name}: port {port} already attached")
+        self.ports[port] = PortBinding(port, link, side, fsm)
+
+    def start(self) -> None:
+        """Begin fabric processing (after links are attached)."""
+        self.nb.start()
+
+    # -- config-space access -------------------------------------------------------
+    def config_read(self, func: int, offset: int) -> int:
+        return self.regs.read(func, offset)
+
+    def config_write(self, func: int, offset: int, value: int) -> None:
+        self.regs.write(func, offset, value)
+
+    # -- register side effects -------------------------------------------------------
+    def _on_reg_write(self, func: int, offset: int, value: int) -> None:
+        if self._in_reset_hook:
+            return
+        if func == Function.HT_CONFIG and offset == F0_HT_INIT_CONTROL and (value & 1):
+            self._in_reset_hook = True
+            try:
+                HtInitControlAccessor(self.regs).clear_warm_reset()
+            finally:
+                self._in_reset_hook = False
+            self.sim.schedule(0.0, self._issue_warm_reset)
+
+    def _issue_warm_reset(self) -> List:
+        """Apply pending link configuration and re-train all links.
+
+        Returns the per-link training events (used by firmware to wait for
+        the reset to complete)."""
+        events = []
+        for binding in self.ports.values():
+            ctl = self.link_control(binding.port)
+            freq = self.link_freq(binding.port)
+            fsm = binding.fsm
+            fsm.set_force_noncoherent(binding.side, ctl.force_noncoherent)
+            if freq.width_bits:
+                fsm.program_rate(binding.side, freq.width_bits, freq.gbit_per_lane)
+            ev = fsm.assert_reset(binding.side, "warm")
+            ev.add_callback(self._make_status_updater(binding))
+            events.append(ev)
+        return events
+
+    def cold_reset(self) -> None:
+        """Power-on: registers to reset values, links retrain from scratch."""
+        self.regs.reset(cold=True)
+        self.caches.flush_all()
+        self.mtrr.clear()
+        for binding in self.ports.values():
+            ev = binding.fsm.assert_reset(binding.side, "cold")
+            ev.add_callback(self._make_status_updater(binding))
+
+    def _make_status_updater(self, binding: PortBinding):
+        def update(ev) -> None:
+            if not ev.ok:
+                return
+            ctl = self.link_control(binding.port)
+            ctl.coherent = ev.value == "coherent"
+
+        return update
+
+    # -- interrupts -------------------------------------------------------------
+    def deliver_interrupt(self, pkt: Packet) -> None:
+        """A broadcast reached this chip's local APICs."""
+        self.interrupts.append(
+            InterruptRecord(
+                self.sim.now, (pkt.addr >> 8) & 0xFF, smc=bool(pkt.addr & 0x10)
+            )
+        )
+
+    def send_interrupt(self, vector: int, smc: bool = False) -> bool:
+        """Originate an interrupt/SMC broadcast.
+
+        Returns False (suppressed) when SMC generation is disabled -- the
+        custom-kernel requirement of paper Section VI.
+        """
+        if smc and not self.misc_control().smc_enabled:
+            self.nb.counters.inc("smc_suppressed")
+            return False
+        # Interrupt broadcasts target the APIC window; the vector and SMC
+        # flag ride in (dword-aligned) address bits.
+        addr = 0xFDF8_0000 | ((vector & 0xFF) << 8) | (0x10 if smc else 0)
+        pkt = make_broadcast(addr, unitid=self.nodeid)
+        self.nb.broadcast(pkt)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<OpteronChip {self.name} nodeid={self.nodeid} ports={sorted(self.ports)}>"
+
+
+def wire_link(
+    sim: Simulator,
+    chip_a: OpteronChip,
+    port_a: int,
+    chip_b: OpteronChip,
+    port_b: int,
+    name: Optional[str] = None,
+    timing: Optional[TimingModel] = None,
+    skew_tolerance_ns: float = 100.0,
+    **link_kw,
+) -> Link:
+    """Create a Link + init FSM between two chips and attach both ends.
+
+    Chip A is always :data:`LinkSide.A`.  Returns the link; the FSM is
+    reachable via either chip's port binding.
+    """
+    t = timing or chip_a.timing
+    link = Link(
+        sim,
+        name=name or f"{chip_a.name}p{port_a}--{chip_b.name}p{port_b}",
+        timing=t,
+        **link_kw,
+    )
+    fsm = LinkInitFSM(sim, link, skew_tolerance_ns=skew_tolerance_ns)
+    chip_a.attach_link(port_a, link, LinkSide.A, fsm)
+    chip_b.attach_link(port_b, link, LinkSide.B, fsm)
+    #: Device registry used by firmware enumeration to traverse the fabric
+    #: (models config cycles flowing over the link).
+    link.attached = {LinkSide.A: chip_a, LinkSide.B: chip_b}
+    return link

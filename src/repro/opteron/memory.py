@@ -1,0 +1,174 @@
+"""Physical memory and the DRAM controller model.
+
+Each Opteron node owns local DRAM ("individual physical memory modules
+attached to each processor").  Contents are stored sparsely (4 KiB pages
+allocated on first touch) so an 8 GB node costs nothing until used, while
+reads and writes move real bytes -- the message library's correctness is
+verified end-to-end against these contents.
+
+The :class:`MemoryController` adds DDR2 timing: a fixed access latency per
+operation plus occupancy proportional to the burst size, with a single
+command queue so that receive-side polling traffic and incoming TCCluster
+writes contend for the same device -- the paper notes that UC polling
+"generates additional processor-memory bus overhead".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim import Event, Resource, Simulator, Tracer, NULL_TRACER
+from ..util.calibration import TimingModel, DEFAULT_TIMING
+
+__all__ = ["Memory", "MemoryController", "MemoryError_"]
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+#: Dual-channel DDR2-800 peak transfer rate, bytes/ns.
+DDR2_BYTES_PER_NS = 12.8
+
+
+class MemoryError_(RuntimeError):
+    """Out-of-range physical memory access (master abort)."""
+
+
+class Memory:
+    """Sparse byte-addressable storage of one node's DRAM."""
+
+    def __init__(self, size: int):
+        if size <= 0 or size % PAGE_SIZE:
+            raise ValueError(f"memory size must be a positive page multiple, got {size}")
+        self.size = size
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, pageno: int) -> bytearray:
+        page = self._pages.get(pageno)
+        if page is None:
+            page = self._pages[pageno] = bytearray(PAGE_SIZE)
+        return page
+
+    def check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise MemoryError_(
+                f"access [{offset:#x}, {offset + length:#x}) outside DRAM of "
+                f"size {self.size:#x}"
+            )
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.check_range(offset, len(data))
+        pos = 0
+        while pos < len(data):
+            pageno, inpage = divmod(offset + pos, PAGE_SIZE)
+            n = min(PAGE_SIZE - inpage, len(data) - pos)
+            self._page(pageno)[inpage : inpage + n] = data[pos : pos + n]
+            pos += n
+
+    def write_masked(self, offset: int, data: bytes, mask: bytes) -> None:
+        """Byte-enable write: only bytes with mask[i] == 1 are stored."""
+        if len(mask) != len(data):
+            raise ValueError("mask/data length mismatch")
+        self.check_range(offset, len(data))
+        run_start = None
+        for i in range(len(data) + 1):
+            valid = i < len(data) and mask[i]
+            if valid and run_start is None:
+                run_start = i
+            elif not valid and run_start is not None:
+                self.write(offset + run_start, data[run_start:i])
+                run_start = None
+
+    def read(self, offset: int, length: int) -> bytes:
+        self.check_range(offset, length)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            pageno, inpage = divmod(offset + pos, PAGE_SIZE)
+            n = min(PAGE_SIZE - inpage, length - pos)
+            page = self._pages.get(pageno)
+            if page is not None:
+                out[pos : pos + n] = page[inpage : inpage + n]
+            pos += n
+        return bytes(out)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Actually allocated backing storage (for footprint accounting)."""
+        return len(self._pages) * PAGE_SIZE
+
+
+class MemoryController:
+    """DES-timed front end of a node's DRAM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        memory: Memory,
+        timing: TimingModel = DEFAULT_TIMING,
+        name: str = "mc",
+    ):
+        self.sim = sim
+        self.memory = memory
+        self.timing = timing
+        self.name = name
+        self.tracer: Tracer = NULL_TRACER
+        self._port = Resource(sim, 1, name=f"{name}.port")
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _occupancy_ns(self, nbytes: int) -> float:
+        return max(nbytes / DDR2_BYTES_PER_NS, 2.0)
+
+    def write(self, offset: int, data: bytes, mask: Optional[bytes] = None) -> Event:
+        """Timed write; the returned event fires when the data is in DRAM.
+
+        ``mask`` selects byte enables (HT sized-byte writes).
+        """
+        done = self.sim.event(name=f"{self.name}.write")
+        self.sim.process(self._do_write(offset, bytes(data), mask, done))
+        return done
+
+    def _do_write(self, offset: int, data: bytes, mask: Optional[bytes],
+                  done: Event):
+        # The port is held only for the transfer (bandwidth sharing); the
+        # access latency is pipelined behind it, as in a real controller.
+        yield self._port.acquire()
+        try:
+            yield self.sim.timeout(self._occupancy_ns(len(data)))
+        finally:
+            self._port.release()
+        yield self.sim.timeout(self.timing.dram_write_ns)
+        if mask is None:
+            self.memory.write(offset, data)
+        else:
+            self.memory.write_masked(offset, data, mask)
+        self.writes += 1
+        self.bytes_written += len(data)
+        self.tracer.emit(self.sim.now, self.name, "write_done",
+                         (offset, len(data)))
+        done.succeed()
+
+    def read(self, offset: int, length: int, uncached: bool = True) -> Event:
+        """Timed read; event value is the bytes.
+
+        ``uncached`` selects the UC latency (cache-bypassing polling path)
+        versus the ordinary cache-miss fill latency.
+        """
+        done = self.sim.event(name=f"{self.name}.read")
+        self.sim.process(self._do_read(offset, length, uncached, done))
+        return done
+
+    def _do_read(self, offset: int, length: int, uncached: bool, done: Event):
+        yield self._port.acquire()
+        try:
+            yield self.sim.timeout(self._occupancy_ns(length))
+        finally:
+            self._port.release()
+        base = self.timing.dram_read_uc_ns if uncached else self.timing.dram_read_ns
+        yield self.sim.timeout(base)
+        data = self.memory.read(offset, length)
+        self.reads += 1
+        self.bytes_read += length
+        done.succeed(data)

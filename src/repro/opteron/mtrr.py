@@ -1,0 +1,139 @@
+"""Memory Type Range Registers (MTRRs) and x86 memory types.
+
+Paper Section V, the "CPU MSR Init" boot step:
+
+    "The Memory Type Range Registers (MTRR) on both nodes are reconfigured
+    to map a large uncachable address space to the TCCluster MMIO link.
+    This causes the processor's system request queue to generate
+    non-coherent posted HT packets which are required for TCCluster."
+
+and Section VI on the receive side:
+
+    "the receiver needs to map the local memory which is accessible by the
+    remote nodes as uncachable.  This guarantees that all reads to remote
+    node accessible memory bypass the cache."
+
+Three types matter here:
+
+* **WB** (write-back): ordinary cacheable RAM,
+* **WC** (write-combining): stores are collected in the core's
+  write-combining buffers and emitted as full-line posted writes -- the
+  TCCluster transmit path,
+* **UC** (uncacheable): every access goes straight to memory, strongly
+  ordered -- the TCCluster receive/polling path (and the slow transmit
+  ablation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["MemoryType", "MTRR", "MTRRSet", "MTRRError"]
+
+
+class MTRRError(ValueError):
+    """Invalid MTRR programming (alignment, overlap conflicts...)."""
+
+
+class MemoryType(enum.Enum):
+    UC = "uncacheable"
+    WC = "write-combining"
+    WB = "write-back"
+
+    @property
+    def cacheable(self) -> bool:
+        return self is MemoryType.WB
+
+    @property
+    def combines_writes(self) -> bool:
+        return self is MemoryType.WC
+
+
+@dataclass(frozen=True)
+class MTRR:
+    """One variable-range register: [base, base+size) -> type.
+
+    Real MTRRs use a base/mask pair that constrains size to powers of two
+    and base to size alignment; we enforce the same constraints so that
+    firmware bugs (misaligned TCC windows) fail here like they would on
+    hardware.
+    """
+
+    base: int
+    size: int
+    mtype: MemoryType
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or (self.size & (self.size - 1)) != 0:
+            raise MTRRError(f"MTRR size {self.size:#x} is not a power of two")
+        if self.base % self.size != 0:
+            raise MTRRError(
+                f"MTRR base {self.base:#x} not aligned to size {self.size:#x}"
+            )
+        if self.base < 0:
+            raise MTRRError("MTRR base must be non-negative")
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def covers(self, addr: int) -> bool:
+        return self.base <= addr < self.limit
+
+
+# x86 type-combining precedence: UC wins over everything, then WC, then WB.
+_PRECEDENCE = {MemoryType.UC: 0, MemoryType.WC: 1, MemoryType.WB: 2}
+
+
+class MTRRSet:
+    """A core's variable MTRRs plus the default type.
+
+    Fam 10h has 8 variable ranges; exceeding that raises, as the firmware
+    would run out of registers.
+    """
+
+    NUM_VARIABLE = 8
+
+    def __init__(self, default: MemoryType = MemoryType.WB):
+        self.default = default
+        self._ranges: List[MTRR] = []
+
+    def add(self, base: int, size: int, mtype: MemoryType) -> MTRR:
+        if len(self._ranges) >= self.NUM_VARIABLE:
+            raise MTRRError(
+                f"all {self.NUM_VARIABLE} variable MTRRs are in use"
+            )
+        r = MTRR(base, size, mtype)
+        self._ranges.append(r)
+        return r
+
+    def clear(self) -> None:
+        self._ranges.clear()
+
+    @property
+    def ranges(self) -> Tuple[MTRR, ...]:
+        return tuple(self._ranges)
+
+    def type_for(self, addr: int) -> MemoryType:
+        """Effective type at ``addr`` (overlaps combine by precedence)."""
+        hits = [r.mtype for r in self._ranges if r.covers(addr)]
+        if not hits:
+            return self.default
+        return min(hits, key=lambda t: _PRECEDENCE[t])
+
+    def type_for_range(self, base: int, length: int) -> MemoryType:
+        """Effective type for a whole access; mixed-type accesses take the
+        most restrictive (lowest-precedence) type, as hardware effectively
+        does for split transactions."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        # Sample at MTRR boundaries within the access.
+        points = {base, base + length - 1}
+        for r in self._ranges:
+            if base < r.limit and r.base < base + length:
+                points.add(max(base, r.base))
+                points.add(min(base + length - 1, r.limit - 1))
+        types = {self.type_for(p) for p in points}
+        return min(types, key=lambda t: _PRECEDENCE[t])

@@ -1,0 +1,526 @@
+"""The Opteron northbridge: crossbar, address maps, routing, IO bridge.
+
+Paper Section IV.C describes the two-stage routing this module implements:
+
+    "The first step is to compare the address of every packet against the
+    DRAM and MMIO address ranges which are defined by base/limit
+    registers.  This lookup returns the NodeID which defines the home node
+    of the requested DRAM or I/O address.  This NodeID then indexes the
+    routing table which returns the corresponding HyperTransport link to
+    which the packet should be forwarded.  MMIO accesses which target an
+    IO device that is connected to the local node are treated different.
+    In this case the destination link is directly provided by the
+    base/limit registers without the need of indexing the routing table.
+    This fact is exploited by our approach which assigns NodeID zero to
+    every node in the TCCluster and which maps every MMIO address range to
+    NodeID zero as well."
+
+All decisions here are decoded from the BKDG-style register file, so the
+firmware's programming (correct or buggy) directly determines packet flow.
+
+The northbridge also enforces the paper's *writes-only* property: a
+non-posted request whose response would have to cross a TCCluster link
+cannot allocate a routable SrcTag (see :mod:`repro.ht.tags`).  With
+``strict_reads=False`` the guard is lifted and the emergent misbehaviour
+(the response is misrouted back into the remote node itself, because every
+TCCluster node claims NodeID 0) can be observed in simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..ht.link import Link, LinkSide
+from ..ht.packet import Command, Packet, make_posted_write, make_read, make_read_response, make_target_done
+from ..ht.tags import ResponseMatchingTable, UnroutableResponseError
+from ..sim import Counter, Event, Simulator, Store
+from ..util.calibration import TimingModel
+from . import registers as regs_mod
+from .registers import (
+    DramPairAccessor,
+    Function,
+    MmioPairAccessor,
+    NodeIDAccessor,
+    RegisterFile,
+    RoutingTableAccessor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .chip import OpteronChip
+
+__all__ = ["Northbridge", "RouteKind", "RouteResult", "MasterAbort", "AddressMapError"]
+
+
+class MasterAbort(RuntimeError):
+    """No address-map entry claims the target address."""
+
+
+class AddressMapError(ValueError):
+    """Inconsistent address-map programming detected by validate()."""
+
+
+class RouteKind(enum.Enum):
+    DRAM_LOCAL = "dram-local"
+    DRAM_REMOTE = "dram-remote"
+    MMIO_LOCAL_LINK = "mmio-local-link"   # forward straight out of DstLink
+    MMIO_REMOTE = "mmio-remote"           # MMIO homed at another fabric node
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    kind: RouteKind
+    dst_node: Optional[int] = None
+    dst_link: Optional[int] = None
+    #: Offset into local DRAM (DRAM_LOCAL only).
+    local_offset: Optional[int] = None
+    writable: bool = True
+    readable: bool = True
+
+
+@dataclass(frozen=True)
+class _DramEntry:
+    base: int
+    limit: int
+    dst_node: int
+    re: bool
+    we: bool
+
+
+@dataclass(frozen=True)
+class _MmioEntry:
+    base: int
+    limit: int
+    dst_node: int
+    dst_link: int
+    nonposted: bool
+    re: bool
+    we: bool
+
+
+class Northbridge:
+    """One node's crossbar + router.  Owned by :class:`OpteronChip`."""
+
+    def __init__(self, sim: Simulator, chip: "OpteronChip"):
+        self.sim = sim
+        self.chip = chip
+        self.name = f"{chip.name}.nb"
+        self.timing: TimingModel = chip.timing
+        self.regs: RegisterFile = chip.regs
+        self.tags = ResponseMatchingTable()
+        self.counters = Counter()
+        #: Posted-write buffering between the CPU cores (SRQ) and the
+        #: fabric; its capacity is the calibrated aggregate that produces
+        #: the Figure 6 buffering peak.
+        self.posted_q: Store = Store(
+            sim, capacity=self.timing.posted_buffer_packets, name=f"{self.name}.postedq"
+        )
+        #: Enforce the writes-only rule at request issue (the driver-level
+        #: behaviour); disable to observe the emergent misrouting.
+        self.strict_reads = True
+        self._dram_entries: List[_DramEntry] = []
+        self._mmio_entries: List[_MmioEntry] = []
+        self._pending_reads: Dict[int, Event] = {}
+        self._started = False
+        self.regs.add_write_hook(self._on_reg_write)
+        self.reload_maps()
+
+    # ------------------------------------------------------------------
+    # Register decode
+    # ------------------------------------------------------------------
+    def _on_reg_write(self, func: int, offset: int, value: int) -> None:
+        if func == Function.ADDRESS_MAP:
+            self.reload_maps()
+
+    def reload_maps(self) -> None:
+        dram: List[_DramEntry] = []
+        mmio: List[_MmioEntry] = []
+        for i in range(regs_mod.NUM_MAP_ENTRIES):
+            d = DramPairAccessor(self.regs, i)
+            if d.enabled:
+                re = bool(self.regs.field(Function.ADDRESS_MAP, d.base_off, 0, 1))
+                we = bool(self.regs.field(Function.ADDRESS_MAP, d.base_off, 1, 1))
+                dram.append(_DramEntry(d.base, d.limit, d.dst_node, re, we))
+            m = MmioPairAccessor(self.regs, i)
+            if m.enabled:
+                re = bool(self.regs.field(Function.ADDRESS_MAP, m.base_off, 0, 1))
+                we = bool(self.regs.field(Function.ADDRESS_MAP, m.base_off, 1, 1))
+                mmio.append(
+                    _MmioEntry(m.base, m.limit, m.dst_node, m.dst_link,
+                               m.nonposted_allowed, re, we)
+                )
+        dram.sort(key=lambda e: e.base)
+        mmio.sort(key=lambda e: e.base)
+        self._dram_entries = dram
+        self._mmio_entries = mmio
+
+    def validate(self) -> None:
+        """Firmware sanity check: DRAM ranges must not overlap each other,
+        and local DRAM must not be shadowed by an MMIO entry.  Section IV.D
+        also requires each node's map to be hole-free over the global
+        space; that cluster-level property is checked by
+        :func:`repro.topology.address_assignment.validate_node_map`."""
+        prev_limit = 0
+        prev = None
+        for e in self._dram_entries:
+            if prev is not None and e.base < prev_limit:
+                raise AddressMapError(
+                    f"DRAM ranges overlap: [{prev.base:#x},{prev.limit:#x}) and "
+                    f"[{e.base:#x},{e.limit:#x})"
+                )
+            prev, prev_limit = e, e.limit
+        my = self.nodeid
+        for d in self._dram_entries:
+            if d.dst_node != my:
+                continue
+            for m in self._mmio_entries:
+                if d.base < m.limit and m.base < d.limit:
+                    raise AddressMapError(
+                        f"local DRAM [{d.base:#x},{d.limit:#x}) shadowed by "
+                        f"MMIO [{m.base:#x},{m.limit:#x})"
+                    )
+
+    @property
+    def nodeid(self) -> int:
+        return NodeIDAccessor(self.regs).nodeid
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, addr: int) -> RouteResult:
+        """Two-stage lookup: address map first, then routing table."""
+        my = self.nodeid
+        for e in self._dram_entries:
+            if e.base <= addr < e.limit:
+                if e.dst_node == my:
+                    return RouteResult(
+                        RouteKind.DRAM_LOCAL,
+                        dst_node=my,
+                        local_offset=self._local_offset(addr),
+                        readable=e.re,
+                        writable=e.we,
+                    )
+                return RouteResult(
+                    RouteKind.DRAM_REMOTE, dst_node=e.dst_node,
+                    readable=e.re, writable=e.we,
+                )
+        for e in self._mmio_entries:
+            if e.base <= addr < e.limit:
+                if e.dst_node == my:
+                    return RouteResult(
+                        RouteKind.MMIO_LOCAL_LINK,
+                        dst_node=my,
+                        dst_link=e.dst_link,
+                        readable=e.re,
+                        writable=e.we,
+                    )
+                return RouteResult(
+                    RouteKind.MMIO_REMOTE, dst_node=e.dst_node,
+                    readable=e.re, writable=e.we,
+                )
+        return RouteResult(RouteKind.NONE)
+
+    def _local_offset(self, addr: int) -> int:
+        """Map a global address into this node's DRAM, accounting for
+        multiple local ranges (offsets accumulate in base order)."""
+        my = self.nodeid
+        running = 0
+        for e in self._dram_entries:
+            if e.dst_node != my:
+                continue
+            if e.base <= addr < e.limit:
+                return running + (addr - e.base)
+            running += e.limit - e.base
+        raise MasterAbort(f"{self.name}: address {addr:#x} is not local DRAM")
+
+    def _route_mask_to_port(self, mask_value: int) -> Optional[int]:
+        """Decode a 5-bit routing-table mask: bit0=self, bit k+1=link k."""
+        if mask_value & 1:
+            return None  # deliver to self
+        for k in range(regs_mod.NUM_LINKS):
+            if mask_value & (1 << (k + 1)):
+                return k
+        raise MasterAbort(f"{self.name}: empty route mask {mask_value:#x}")
+
+    def _fabric_port_for(self, dst_node: int, route: str = "request") -> int:
+        acc = RoutingTableAccessor(self.regs, dst_node)
+        mask_value = getattr(acc, route)
+        port = self._route_mask_to_port(mask_value)
+        if port is None:
+            raise MasterAbort(
+                f"{self.name}: routing table says node {dst_node} is self, "
+                "but the address map disagreed"
+            )
+        return port
+
+    # ------------------------------------------------------------------
+    # CPU-side interface (the SRQ)
+    # ------------------------------------------------------------------
+    def submit_posted(self, addr: int, data: bytes,
+                      mask: Optional[bytes] = None) -> Event:
+        """Accept a posted write from a core's WC/UC store path.
+
+        The returned event fires when the packet is accepted into the
+        posted buffer -- the point at which the store has 'left the
+        processor' and the core may retire it.  ``mask`` selects the
+        sized-byte write form.
+        """
+        pkt = make_posted_write(addr, data, unitid=self.nodeid, coherent=True,
+                                mask=mask)
+        pkt.inject_time = self.sim.now
+        return self.posted_q.put(pkt)
+
+    def cpu_read(self, addr: int, length: int, uncached: bool = True) -> Event:
+        """A core load.  Local DRAM and remote coherent DRAM work; reads
+        into TCCluster MMIO windows violate the writes-only rule."""
+        done = self.sim.event(name=f"{self.name}.cpu_read")
+        self.sim.process(self._do_cpu_read(addr, length, uncached, done))
+        return done
+
+    def _do_cpu_read(self, addr: int, length: int, uncached: bool, done: Event):
+        r = self.route(addr)
+        yield self.sim.timeout(self.timing.nb_request_ns)
+        if r.kind is RouteKind.NONE:
+            done.fail(MasterAbort(f"{self.name}: read from unmapped {addr:#x}"))
+            return
+        if not r.readable:
+            done.fail(MasterAbort(f"{self.name}: address {addr:#x} is write-only"))
+            return
+        if r.kind is RouteKind.DRAM_LOCAL:
+            if not self._dram_ready():
+                done.fail(MasterAbort(
+                    f"{self.name}: DRAM accessed before memory init"
+                ))
+                return
+            data = yield self.chip.memctrl.read(r.local_offset, length, uncached)
+            self.counters.inc("local_reads")
+            done.succeed(data)
+            return
+        if r.kind is RouteKind.DRAM_REMOTE:
+            # Coherent fabric read: tag + request + response.
+            data = yield from self._remote_read(addr, length, r.dst_node)
+            done.succeed(data)
+            return
+        # MMIO read: the writes-only rule.
+        if self.strict_reads:
+            try:
+                self.tags.allocate(None)
+            except UnroutableResponseError as exc:
+                done.fail(exc)
+                return
+        # Permissive mode: emit the read and let the fabric demonstrate why
+        # this cannot work (the response is misrouted at the remote node).
+        if (length % 4) or length > 64:
+            done.fail(ValueError("MMIO reads are 1..16 dwords"))
+            return
+        tag = self.tags.allocate(self.nodeid, context=done)
+        self._pending_reads[tag] = done
+        pkt = make_read(addr, length // 4, srctag=tag, unitid=self.nodeid)
+        yield from self._emit_mmio(pkt, r)
+        self.counters.inc("unroutable_mmio_reads_issued")
+        # `done` now waits for a response that will never arrive.
+
+    def _remote_read(self, addr: int, length: int, dst_node: int):
+        if (length % 4) or length > 64:
+            raise ValueError("fabric reads are 1..16 dwords")
+        response = self.sim.event(name=f"{self.name}.read_rsp")
+        tag = self.tags.allocate(dst_node, context=response)
+        pkt = make_read(addr, length // 4, srctag=tag, unitid=self.nodeid, coherent=True)
+        port = self._fabric_port_for(dst_node)
+        yield self._send_on_port(port, pkt)
+        data = yield response
+        self.counters.inc("remote_reads")
+        return data
+
+    def _emit_mmio(self, pkt: Packet, r: RouteResult):
+        """Send a packet out of the MMIO destination link (IO bridge
+        converts coherent -> non-coherent on the way)."""
+        if pkt.coherent:
+            yield self.sim.timeout(self.timing.nb_iobridge_ns)
+            pkt.coherent = False
+        yield self._send_on_port(r.dst_link, pkt)
+
+    def _send_on_port(self, port: int, pkt: Packet) -> Event:
+        binding = self.chip.ports.get(port)
+        if binding is None:
+            raise MasterAbort(f"{self.name}: no link attached at port {port}")
+        return binding.link.send(binding.side, pkt)
+
+    # ------------------------------------------------------------------
+    # Interrupt / broadcast origination
+    # ------------------------------------------------------------------
+    def broadcast(self, pkt: Packet, exclude_port: Optional[int] = None) -> None:
+        """Deliver a broadcast locally and forward it per the BCRte masks.
+
+        The forwarding set is the broadcast route of the *own* node entry
+        (BKDG uses per-node BCRte; firmware programs the own entry to list
+        the links broadcasts fan out on)."""
+        acc = RoutingTableAccessor(self.regs, self.nodeid)
+        mask_value = acc.broadcast
+        if mask_value & 1:
+            self.chip.deliver_interrupt(pkt)
+        for k in range(regs_mod.NUM_LINKS):
+            if k == exclude_port:
+                continue
+            if mask_value & (1 << (k + 1)) and k in self.chip.ports:
+                b = self.chip.ports[k]
+                if b.link.state == "active":
+                    b.link.send(b.side, pkt)
+                    self.counters.inc("broadcasts_forwarded")
+
+    # ------------------------------------------------------------------
+    # Fabric-side processing
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the dispatcher and one receive loop per attached port."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._dispatcher(), name=f"{self.name}.dispatch")
+        for k in list(self.chip.ports):
+            self.sim.process(self._rx_loop(k), name=f"{self.name}.rx{k}")
+
+    def _dispatcher(self):
+        """Drain the CPU posted queue into memory or the fabric."""
+        t = self.timing
+        while True:
+            pkt = yield self.posted_q.get()
+            yield self.sim.timeout(t.nb_request_ns)
+            r = self.route(pkt.addr)
+            if not r.writable and r.kind is not RouteKind.NONE:
+                self.counters.inc("write_to_readonly")
+                continue
+            if r.kind is RouteKind.DRAM_LOCAL:
+                if not self._dram_ready():
+                    self.counters.inc("dram_uninitialized")
+                    continue
+                self.chip.memctrl.write(r.local_offset, pkt.data, pkt.mask)
+                self.counters.inc("local_writes")
+            elif r.kind is RouteKind.MMIO_LOCAL_LINK:
+                yield from self._emit_mmio(pkt, r)
+                self.counters.inc("mmio_writes")
+            elif r.kind is RouteKind.DRAM_REMOTE:
+                port = self._fabric_port_for(r.dst_node)
+                yield self._send_on_port(port, pkt)
+                self.counters.inc("fabric_writes")
+            elif r.kind is RouteKind.MMIO_REMOTE:
+                port = self._fabric_port_for(r.dst_node)
+                yield self._send_on_port(port, pkt)
+                self.counters.inc("fabric_writes")
+            else:
+                self.counters.inc("master_aborts")
+
+    def _rx_loop(self, port: int):
+        """Process packets arriving on one link."""
+        binding = self.chip.ports[port]
+        link, side = binding.link, binding.side
+        t = self.timing
+        while True:
+            pkt = yield link.receive(side)
+            if pkt.cmd is Command.BROADCAST:
+                yield self.sim.timeout(t.nb_request_ns)
+                self.broadcast(pkt, exclude_port=port)
+                self.counters.inc("broadcasts_received")
+                continue
+            if pkt.cmd.is_response:
+                yield from self._handle_response(pkt, port)
+                continue
+            r = self.route(pkt.addr)
+            if r.kind is RouteKind.DRAM_LOCAL:
+                yield self.sim.timeout(t.nb_request_ns)
+                if not pkt.coherent:
+                    # IO bridge: non-coherent -> coherent conversion.
+                    yield self.sim.timeout(t.nb_iobridge_ns)
+                    pkt.coherent = True
+                yield from self._local_access(pkt, port)
+            elif r.kind in (RouteKind.MMIO_LOCAL_LINK, RouteKind.MMIO_REMOTE,
+                            RouteKind.DRAM_REMOTE):
+                yield self.sim.timeout(t.nb_forward_ns)
+                if r.kind is RouteKind.MMIO_LOCAL_LINK:
+                    out_port = r.dst_link
+                    if pkt.coherent:
+                        yield self.sim.timeout(t.nb_iobridge_ns)
+                        pkt.coherent = False
+                else:
+                    out_port = self._fabric_port_for(r.dst_node)
+                if out_port == port:
+                    self.counters.inc("routing_loops")
+                    continue
+                yield self._send_on_port(out_port, pkt)
+                self.counters.inc("forwarded")
+            else:
+                self.counters.inc("master_aborts")
+
+    def _dram_ready(self) -> bool:
+        from .registers import DramConfigAccessor
+
+        return DramConfigAccessor(self.regs).initialized
+
+    def _local_access(self, pkt: Packet, port: int):
+        """Service a request that targets this node's DRAM."""
+        t = self.timing
+        if not self._dram_ready():
+            self.counters.inc("dram_uninitialized")
+            return
+        if pkt.is_write and pkt.cmd.is_posted:
+            offset = self._local_offset(pkt.addr)
+            self.chip.memctrl.write(offset, pkt.data, pkt.mask)
+            self.counters.inc("rx_writes")
+            return
+        if pkt.is_write:
+            offset = self._local_offset(pkt.addr)
+            yield self.chip.memctrl.write(offset, pkt.data, pkt.mask)
+            rsp = make_target_done(srctag=pkt.srctag, unitid=pkt.unitid)
+            yield from self._route_response(rsp, port)
+            self.counters.inc("rx_np_writes")
+            return
+        if pkt.cmd is Command.READ:
+            offset = self._local_offset(pkt.addr)
+            data = yield self.chip.memctrl.read(offset, pkt.dword_count * 4,
+                                                uncached=False)
+            rsp = make_read_response(data, srctag=pkt.srctag, unitid=pkt.unitid,
+                                     coherent=pkt.coherent)
+            yield from self._route_response(rsp, port)
+            self.counters.inc("rx_reads")
+            return
+        self.counters.inc("unhandled_requests")
+
+    def _route_response(self, rsp: Packet, rx_port: int):
+        """Responses route by the requester NodeID carried in unitid."""
+        dst = rsp.unitid
+        if dst == self.nodeid:
+            # The pathological TCCluster case: every node is NodeID 0, so a
+            # response to a remote requester is routed back into ourselves.
+            self._complete_or_misroute(rsp)
+            return
+        port = self._fabric_port_for(dst, route="response")
+        yield self._send_on_port(port, rsp)
+
+    def _handle_response(self, pkt: Packet, port: int):
+        yield self.sim.timeout(self.timing.nb_request_ns)
+        if pkt.unitid == self.nodeid:
+            self._complete_or_misroute(pkt)
+        else:
+            out = self._fabric_port_for(pkt.unitid, route="response")
+            if out == port:
+                self.counters.inc("routing_loops")
+                return
+            yield self._send_on_port(out, pkt)
+
+    def _complete_or_misroute(self, pkt: Packet) -> None:
+        try:
+            ev = self.tags.match(pkt.srctag)
+        except KeyError:
+            # Response for a request we never issued: the emergent
+            # misrouting the paper describes (Section IV.A).
+            self.counters.inc("misrouted_responses")
+            return
+        self._pending_reads.pop(pkt.srctag, None)
+        if isinstance(ev, Event) and not ev.triggered:
+            if pkt.error:
+                ev.fail(MasterAbort("remote access returned error response"))
+            else:
+                ev.succeed(pkt.data)
+        self.counters.inc("responses_matched")

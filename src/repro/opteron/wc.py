@@ -1,0 +1,170 @@
+"""Write-combining buffers.
+
+Paper Section VI:
+
+    "Our approach makes intensive use of the write combining capability to
+    generate maximum sized HyperTransport packets which reduce the command
+    overhead.  Therefore, multiple 64 bit store instructions are collected
+    in the write combining buffer and sent out as a single packet. ...
+    The Opteron provides eight write combining buffers."
+
+This unit tracks up to eight open 64-byte buffers with byte-valid masks.
+A buffer drains (producing posted-write operations toward the SRQ) when
+
+* it becomes completely valid (the fast path: a full cache line of stores),
+* an ``sfence`` or explicit flush drains everything (strictly-ordered
+  send mode),
+* a ninth line is touched and the least-recently-allocated buffer is
+  evicted (the weakly-ordered overflow path: "the write combining buffers
+  are flushed automatically in the case of a buffer overflow").
+
+Partially-valid buffers flush as one posted write per contiguous
+dword-aligned valid run, mirroring how the hardware emits sized dword
+writes with masks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..util.units import CACHELINE
+
+__all__ = ["WriteCombiner", "FlushOp"]
+
+
+@dataclass(frozen=True)
+class FlushOp:
+    """One posted write produced by draining (part of) a WC buffer.
+
+    ``mask`` (0/1 per byte) is set when the drained run is ragged at a
+    dword boundary -- the hardware then emits an HT sized-*byte* write so
+    that no stale buffer bytes clobber remote memory.
+    """
+
+    addr: int
+    data: bytes
+    mask: "bytes | None" = None
+
+    def __post_init__(self) -> None:
+        if self.addr % 4 or len(self.data) % 4:
+            raise ValueError("WC flush must be dword aligned/granular")
+        if self.mask is not None and len(self.mask) != len(self.data):
+            raise ValueError("mask/data length mismatch")
+
+
+class _Buffer:
+    __slots__ = ("line_addr", "data", "valid")
+
+    def __init__(self, line_addr: int):
+        self.line_addr = line_addr
+        self.data = bytearray(CACHELINE)
+        self.valid = bytearray(CACHELINE)  # 0/1 per byte
+
+    @property
+    def full(self) -> bool:
+        return all(self.valid)
+
+    def fill(self, offset: int, data: bytes) -> None:
+        self.data[offset : offset + len(data)] = data
+        for i in range(offset, offset + len(data)):
+            self.valid[i] = 1
+
+    def drain_ops(self) -> List[FlushOp]:
+        """Contiguous valid runs; ragged dword edges become byte-masked
+        writes so only actually-stored bytes reach the fabric."""
+        ops: List[FlushOp] = []
+        i = 0
+        while i < CACHELINE:
+            if not self.valid[i]:
+                i += 1
+                continue
+            j = i
+            while j < CACHELINE and self.valid[j]:
+                j += 1
+            lo = (i // 4) * 4
+            hi = ((j + 3) // 4) * 4
+            data = bytes(self.data[lo:hi])
+            if lo == i and hi == j:
+                ops.append(FlushOp(self.line_addr + lo, data))
+            else:
+                mask_bytes = bytes(self.valid[lo:hi])
+                ops.append(FlushOp(self.line_addr + lo, data, mask_bytes))
+            i = j
+        return ops
+
+
+class WriteCombiner:
+    """One core's set of write-combining buffers."""
+
+    def __init__(self, num_buffers: int = 8):
+        if num_buffers <= 0:
+            raise ValueError("need at least one WC buffer")
+        self.num_buffers = num_buffers
+        self._buffers: "OrderedDict[int, _Buffer]" = OrderedDict()
+        self.fills = 0
+        self.full_flushes = 0
+        self.partial_flushes = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def store(self, addr: int, data: bytes) -> List[FlushOp]:
+        """Absorb a store; returns any flush operations it caused.
+
+        Stores may span line boundaries; each affected line is combined
+        independently, as on hardware.
+        """
+        if not data:
+            raise ValueError("empty store")
+        ops: List[FlushOp] = []
+        pos = 0
+        while pos < len(data):
+            a = addr + pos
+            line = a & ~(CACHELINE - 1)
+            offset = a - line
+            n = min(CACHELINE - offset, len(data) - pos)
+            ops.extend(self._store_line(line, offset, data[pos : pos + n]))
+            pos += n
+        return ops
+
+    def _store_line(self, line: int, offset: int, data: bytes) -> List[FlushOp]:
+        ops: List[FlushOp] = []
+        buf = self._buffers.get(line)
+        if buf is None:
+            if len(self._buffers) >= self.num_buffers:
+                # Overflow: evict the oldest open buffer.
+                _, old = self._buffers.popitem(last=False)
+                self.evictions += 1
+                if old.full:
+                    self.full_flushes += 1
+                else:
+                    self.partial_flushes += 1
+                ops.extend(old.drain_ops())
+            buf = _Buffer(line)
+            self._buffers[line] = buf
+        buf.fill(offset, data)
+        self.fills += 1
+        if buf.full:
+            del self._buffers[line]
+            self.full_flushes += 1
+            ops.extend(buf.drain_ops())
+        return ops
+
+    def flush(self) -> List[FlushOp]:
+        """Drain every open buffer (sfence / ordering point)."""
+        ops: List[FlushOp] = []
+        for _, buf in self._buffers.items():
+            if buf.full:
+                self.full_flushes += 1
+            else:
+                self.partial_flushes += 1
+            ops.extend(buf.drain_ops())
+        self._buffers.clear()
+        return ops
+
+    @property
+    def open_lines(self) -> Tuple[int, ...]:
+        return tuple(self._buffers.keys())

@@ -1,0 +1,45 @@
+"""Discrete-event simulation engine underpinning the TCCluster models."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .queues import Barrier, CreditPool, Gate, Resource, Store
+from .trace import (
+    NULL_TRACER,
+    Counter,
+    IntervalAccumulator,
+    OnlineStats,
+    Tracer,
+    TraceRecord,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "DeadlockError",
+    "Store",
+    "Resource",
+    "Barrier",
+    "CreditPool",
+    "Gate",
+    "Tracer",
+    "TraceRecord",
+    "NULL_TRACER",
+    "Counter",
+    "OnlineStats",
+    "IntervalAccumulator",
+]

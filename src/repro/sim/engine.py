@@ -1,0 +1,450 @@
+"""Discrete-event simulation engine.
+
+This is the foundation of the whole TCCluster reproduction: every hardware
+unit (link, northbridge, memory controller, CPU core) and every software
+layer (firmware, driver, message library) executes as a coroutine process
+inside a :class:`Simulator`, and all reported performance numbers are
+*virtual* nanoseconds of simulated time.
+
+The engine is deliberately small and deterministic:
+
+* a binary-heap event calendar keyed by ``(time, sequence)`` so that events
+  scheduled at the same instant fire in scheduling order,
+* generator-based processes (SimPy style) which ``yield`` timeouts, events,
+  other processes or composite conditions,
+* no wall-clock anywhere -- results are exactly reproducible.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim):
+...     yield sim.timeout(5.0)
+...     log.append(sim.now)
+>>> _ = sim.process(proc(sim))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "DeadlockError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Simulator.run` when ``run(until=None)`` is asked to
+    wait for a condition that can never fire (event heap empty but waiters
+    remain)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value given to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    makes it *triggered* and schedules its callbacks at the current
+    simulation time.  A process that ``yield``\\ s a pending event is
+    suspended until the event triggers; the event's value is sent into the
+    generator.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_triggered", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only valid once triggered)."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed` (or the exception)."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks *now*."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiting processes receive ``exc``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event triggers.
+
+        If the event already triggered, the callback is scheduled
+        immediately (at the current simulation time).
+        """
+        if self._triggered and self._callbacks is None:
+            # Already dispatched: run at current time via the calendar so
+            # ordering semantics stay uniform.
+            self.sim.schedule(0.0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None  # type: ignore[assignment]
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule_event(self, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self.events: Tuple[Event, ...] = tuple(events)
+        self._n_done = 0
+        if not self.events:
+            # Vacuous conditions trigger immediately.
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _collect(self) -> dict:
+        return {ev: ev.value for ev in self.events if ev.triggered}
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* child event triggers; value maps done events."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="AnyOf")
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when *all* child events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="AllOf")
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= len(self.events)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process(Event):
+    """A running coroutine inside the simulation.
+
+    The wrapped generator may yield:
+
+    * ``float | int`` -- sleep for that many time units,
+    * :class:`Event` -- wait until it triggers (its value is sent back in),
+    * :class:`Process` -- wait for that process to finish,
+    * ``None`` -- yield the processor for one zero-delay step.
+
+    A Process is itself an Event that triggers with the generator's return
+    value, so processes can wait on each other.
+    """
+
+    __slots__ = ("gen", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        sim.schedule(0.0, self._resume, None, True)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        # Detach from whatever it was waiting on; the wait event may still
+        # trigger later but the resume guard ignores stale wakeups.
+        self.sim.schedule(0.0, self._deliver_interrupt)
+
+    def _deliver_interrupt(self) -> None:
+        if self._triggered or not self._interrupts:
+            return
+        exc = self._interrupts.pop(0)
+        target, self._waiting_on = self._waiting_on, None
+        if target is not None:
+            # Stale wakeup protection: mark so _on_wait_done ignores it.
+            pass
+        self._step(exc, throw=True)
+
+    def _resume(self, value: Any, ok: bool) -> None:
+        self._step(value if ok else value, throw=not ok)
+
+    def _on_wait_done(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if self._waiting_on is not ev:
+            return  # stale wakeup (we were interrupted meanwhile)
+        self._waiting_on = None
+        self._step(ev.value, throw=not ev.ok)
+
+    def _step(self, value: Any, throw: bool = False) -> None:
+        try:
+            if throw:
+                if isinstance(value, BaseException):
+                    target = self.gen.throw(value)
+                else:  # pragma: no cover - defensive
+                    target = self.gen.throw(SimulationError(repr(value)))
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise SimulationError(
+                f"process {self.name!r} did not handle an Interrupt"
+            )
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if target is None:
+            target = Timeout(self.sim, 0.0)
+        elif isinstance(target, (int, float)):
+            target = Timeout(self.sim, float(target))
+        elif not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value "
+                f"{target!r} (expected Event, Process, number or None)"
+            )
+        self._waiting_on = target
+        target.add_callback(self._on_wait_done)
+
+
+class Simulator:
+    """The event calendar and virtual clock.
+
+    Time is a float in *nanoseconds* by convention throughout this library
+    (see :mod:`repro.util.units`), though the engine itself is unit-agnostic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._event_count: int = 0
+        self._running = False
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Total number of calendar entries executed so far."""
+        return self._event_count
+
+    # -- scheduling primitives --------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def _schedule_event(self, ev: Event, delay: float = 0.0) -> None:
+        self.schedule(delay, ev._dispatch)
+
+    # -- factories ---------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a coroutine process; returns the :class:`Process`."""
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- main loop ----------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Execute events until the calendar drains.
+
+        Parameters
+        ----------
+        until:
+            Stop (without executing) events scheduled after this time.
+            The clock is advanced to ``until`` when given.
+        max_events:
+            Safety valve for runaway simulations.
+
+        Returns the simulation time at exit.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._heap:
+                t, _seq, fn, args = self._heap[0]
+                if until is not None and t > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = t
+                self._event_count += 1
+                fn(*args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (possible livelock)"
+                    )
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_event(self, ev: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``ev`` triggers; returns its value.
+
+        Raises :class:`DeadlockError` if the calendar drains first, which is
+        the classic symptom of e.g. a receiver polling a ring buffer that no
+        sender will ever fill.
+        """
+        if self._running:
+            raise SimulationError("run_until_event() is not reentrant")
+        self._running = True
+        try:
+            while not ev.triggered:
+                if not self._heap:
+                    raise DeadlockError(
+                        f"no more events but {ev.name!r} never triggered"
+                    )
+                t, _seq, fn, args = heapq.heappop(self._heap)
+                if limit is not None and t > limit:
+                    raise DeadlockError(
+                        f"time limit {limit} exceeded waiting for {ev.name!r}"
+                    )
+                self._now = t
+                self._event_count += 1
+                fn(*args)
+        finally:
+            self._running = False
+        if not ev.ok:
+            raise ev.value
+        return ev.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now} pending={len(self._heap)}>"

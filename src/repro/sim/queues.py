@@ -1,0 +1,282 @@
+"""Blocking queues and resources for simulation processes.
+
+These primitives model the hardware FIFOs that dominate interconnect
+behaviour: bounded buffers with back-pressure (:class:`Store`), counting
+credits (:class:`CreditPool`, the HT flow-control abstraction) and mutual
+exclusion (:class:`Resource`, used e.g. for the single outgoing link port of
+a northbridge).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from .engine import Event, Simulator, SimulationError
+
+__all__ = ["Store", "Resource", "CreditPool", "Gate", "Barrier"]
+
+
+class Store:
+    """A bounded FIFO with blocking put/get, FCFS on both sides.
+
+    ``capacity=None`` means unbounded (an ideal queue); hardware models
+    always pass a finite capacity so back-pressure propagates.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is accepted."""
+        ev = Event(self.sim, name=f"{self.name}.put")
+        if not self.is_full and not self._putters:
+            self._items.append(item)
+            ev.succeed()
+            self._wake_getter()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self.is_full or self._putters:
+            return False
+        self._items.append(item)
+        self._wake_getter()
+        return True
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._admit_putter()
+        return True, item
+
+    def peek(self) -> Any:
+        """Look at the head item without removing it (raises if empty)."""
+        if not self._items:
+            raise SimulationError(f"peek on empty store {self.name!r}")
+        return self._items[0]
+
+    def _wake_getter(self) -> None:
+        while self._getters and self._items:
+            ev = self._getters.popleft()
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+
+    def _admit_putter(self) -> None:
+        while self._putters and not self.is_full:
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed()
+            self._wake_getter()
+
+
+class Resource:
+    """A counting semaphore with FCFS acquisition.
+
+    Typical use::
+
+        yield resource.acquire()
+        try:
+            ...critical section...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.acquire")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def locked_by_anyone(self) -> bool:
+        return self._in_use >= self.capacity
+
+
+class CreditPool:
+    """Counting credits with blocking take -- the HT flow-control primitive.
+
+    The receiver of an HT link grants N buffer credits per virtual channel;
+    the transmitter must take a credit before sending a packet and the
+    receiver returns it when the buffer frees.  Modeled as a counter that
+    never exceeds ``initial``.
+    """
+
+    def __init__(self, sim: Simulator, initial: int, name: str = ""):
+        if initial < 0:
+            raise ValueError(f"initial credits must be >= 0, got {initial}")
+        self.sim = sim
+        self.name = name
+        self.initial = initial
+        self._credits = initial
+        self._waiters: Deque[tuple] = deque()  # (event, amount)
+
+    @property
+    def credits(self) -> int:
+        return self._credits
+
+    def take(self, amount: int = 1) -> Event:
+        """Event fires once ``amount`` credits have been obtained."""
+        if amount <= 0:
+            raise ValueError(f"credit amount must be positive, got {amount}")
+        if amount > self.initial:
+            raise SimulationError(
+                f"{self.name!r}: requesting {amount} credits but pool "
+                f"maximum is {self.initial} (would deadlock)"
+            )
+        ev = Event(self.sim, name=f"{self.name}.take")
+        if self._credits >= amount and not self._waiters:
+            self._credits -= amount
+            ev.succeed()
+        else:
+            self._waiters.append((ev, amount))
+        return ev
+
+    def try_take(self, amount: int = 1) -> bool:
+        if self._waiters or self._credits < amount:
+            return False
+        self._credits -= amount
+        return True
+
+    def give(self, amount: int = 1) -> None:
+        """Return credits (receiver freed buffer space)."""
+        if amount <= 0:
+            raise ValueError(f"credit amount must be positive, got {amount}")
+        self._credits += amount
+        if self._credits > self.initial:
+            raise SimulationError(
+                f"{self.name!r}: credit overflow ({self._credits} > {self.initial})"
+            )
+        while self._waiters and self._credits >= self._waiters[0][1]:
+            ev, amt = self._waiters.popleft()
+            self._credits -= amt
+            ev.succeed()
+
+
+class Gate:
+    """A level-triggered condition: processes wait until the gate is open.
+
+    Unlike :class:`repro.sim.engine.Event` a gate can open and close
+    repeatedly; used e.g. for 'warm reset asserted' and barrier releases.
+    """
+
+    def __init__(self, sim: Simulator, open_: bool = False, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._open = open_
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.wait")
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def close(self) -> None:
+        self._open = False
+
+
+class Barrier:
+    """An n-party rendezvous, reusable across generations.
+
+    Models synchronized hardware rails (the TCCluster backplane's common
+    warm-reset signal) as well as software barriers: the event returned by
+    :meth:`arrive` fires when all ``parties`` have arrived in the current
+    generation, after which the barrier resets for the next use.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = ""):
+        if parties <= 0:
+            raise ValueError(f"parties must be positive, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self.generation = 0
+        self._waiting: List[Event] = []
+
+    def arrive(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.arrive")
+        self._waiting.append(ev)
+        if len(self._waiting) >= self.parties:
+            waiting, self._waiting = self._waiting, []
+            self.generation += 1
+            gen = self.generation
+            for w in waiting:
+                w.succeed(gen)
+        return ev
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiting)

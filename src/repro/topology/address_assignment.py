@@ -1,0 +1,307 @@
+"""Global address-space construction under interval-routing constraints.
+
+Paper Section IV.D:
+
+    "One can see that the address map ... shows a contiguous global address
+    space ... A contiguous address space is necessary as the northbridge
+    implements interval routing mechanism which can only map single
+    contiguous address intervals to each outgoing HyperTransport link.
+    Memory holes within a node specific address space are, therefore,
+    impossible."
+
+Given a :class:`~repro.topology.graph.ClusterTopology` and per-node DRAM
+sizes, this module
+
+1. assigns every supernode a contiguous slice of the global physical
+   address space (in supernode index order),
+2. computes, for every node, the DRAM directives (its own and its
+   coherent peers' ranges) and the MMIO directives (remote slices grouped
+   by exit link, merged into contiguous intervals),
+3. **validates** the interval-routing constraints: intervals per link must
+   be contiguous merges, the per-node entry count must fit the eight
+   base/limit register pairs, and each node's map must tile the global
+   space without holes.
+
+Routing is dimension-ordered (Y first, then X) on meshes -- with row-major
+supernode numbering this yields at most one interval per mesh port, which
+is why the paper's n x n arrangement works -- and BFS shortest-path on
+general graphs (which may fragment intervals; the validator then counts
+whether the map still fits the registers).
+
+The 48-bit physical address space caps the cluster ("the combined global
+address space in TCCluster is currently limited to 256 Terabyte").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..opteron.registers import GRANULARITY, NUM_MAP_ENTRIES
+from .graph import ClusterTopology, Endpoint, TccEdge, TopologyError
+
+__all__ = [
+    "NodeSpec",
+    "SupernodeSpec",
+    "DramDirective",
+    "MmioDirective",
+    "NodeMapPlan",
+    "GlobalAddressMap",
+    "AddressAssignmentError",
+    "assign_addresses",
+    "uniform_cluster",
+]
+
+PHYS_LIMIT = 1 << 48  # 256 TB
+
+
+class AddressAssignmentError(ValueError):
+    """The requested cluster cannot be expressed with interval routing."""
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One processor within a supernode."""
+
+    dram_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes <= 0 or self.dram_bytes % GRANULARITY:
+            raise AddressAssignmentError(
+                f"node DRAM size {self.dram_bytes:#x} must be a positive "
+                f"multiple of {GRANULARITY:#x}"
+            )
+
+
+@dataclass(frozen=True)
+class SupernodeSpec:
+    """A board: 1..8 coherent processors."""
+
+    nodes: Tuple[NodeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.nodes) <= 8:
+            raise AddressAssignmentError(
+                "a supernode holds 1..8 processors (coherent fabric limit)"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(n.dram_bytes for n in self.nodes)
+
+
+@dataclass(frozen=True)
+class DramDirective:
+    """Program one DRAM base/limit pair: [base, limit) homed at dst_node."""
+
+    base: int
+    limit: int
+    dst_node: int
+
+
+@dataclass(frozen=True)
+class MmioDirective:
+    """Program one MMIO pair: [base, limit) exits the supernode through
+    ``exit_port`` on ``exit_node``."""
+
+    base: int
+    limit: int
+    exit_node: int
+    exit_port: int
+
+
+@dataclass
+class NodeMapPlan:
+    """Everything firmware must program into one node's F1 registers."""
+
+    supernode: int
+    node: int
+    dram: List[DramDirective] = field(default_factory=list)
+    mmio: List[MmioDirective] = field(default_factory=list)
+
+    def local_dram_base(self) -> int:
+        for d in self.dram:
+            if d.dst_node == self.node:
+                return d.base
+        raise AddressAssignmentError("node has no local DRAM directive")
+
+
+@dataclass
+class GlobalAddressMap:
+    """The cluster-wide outcome of address assignment."""
+
+    topology: ClusterTopology
+    specs: Tuple[SupernodeSpec, ...]
+    base: int
+    supernode_ranges: List[Tuple[int, int]]
+    plans: Dict[Tuple[int, int], NodeMapPlan]
+
+    @property
+    def limit(self) -> int:
+        return self.supernode_ranges[-1][1] if self.supernode_ranges else self.base
+
+    def plan_for(self, supernode: int, node: int) -> NodeMapPlan:
+        return self.plans[(supernode, node)]
+
+    def supernode_of_addr(self, addr: int) -> int:
+        for i, (b, l) in enumerate(self.supernode_ranges):
+            if b <= addr < l:
+                return i
+        raise AddressAssignmentError(f"address {addr:#x} outside the global space")
+
+    def node_range(self, supernode: int, node: int) -> Tuple[int, int]:
+        """The global [base, limit) of one node's DRAM."""
+        base, _ = self.supernode_ranges[supernode]
+        for i, n in enumerate(self.specs[supernode].nodes):
+            if i == node:
+                return base, base + n.dram_bytes
+            base += n.dram_bytes
+        raise KeyError(f"no node {node} in supernode {supernode}")
+
+
+def _mesh_exit(topology: ClusterTopology, src: int, dst: int) -> TccEdge:
+    """Dimension-ordered (Y then X) next hop on a 2D mesh."""
+    rows, cols = topology.shape  # type: ignore[misc]
+    r, c = divmod(src, cols)
+    rd, cd = divmod(dst, cols)
+    if rd != r:
+        step = (r + 1, c) if rd > r else (r - 1, c)
+    else:
+        step = (r, c + 1) if cd > c else (r, c - 1)
+    nxt = step[0] * cols + step[1]
+    for n, e in topology.neighbors(src):
+        if n == nxt:
+            return e
+    raise TopologyError(f"mesh edge {src}->{nxt} missing")
+
+
+def _next_hop_table(topology: ClusterTopology, src: int) -> Dict[int, TccEdge]:
+    if topology.kind in ("mesh2d",) and topology.shape and len(topology.shape) == 2:
+        return {
+            dst: _mesh_exit(topology, src, dst)
+            for dst in range(topology.num_supernodes)
+            if dst != src
+        }
+    return topology.shortest_next_hops(src)
+
+
+def _merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Coalesce adjacent/overlapping [base, limit) intervals."""
+    if not ranges:
+        return []
+    ranges = sorted(ranges)
+    out = [ranges[0]]
+    for b, l in ranges[1:]:
+        pb, pl = out[-1]
+        if b <= pl:
+            out[-1] = (pb, max(pl, l))
+        else:
+            out.append((b, l))
+    return out
+
+
+def assign_addresses(
+    topology: ClusterTopology,
+    specs: Sequence[SupernodeSpec],
+    base: int = 0,
+) -> GlobalAddressMap:
+    """Compute the global map and every node's register programme."""
+    if len(specs) != topology.num_supernodes:
+        raise AddressAssignmentError(
+            f"{len(specs)} supernode specs for {topology.num_supernodes} vertices"
+        )
+    if not topology.is_connected():
+        raise AddressAssignmentError("topology is not connected")
+    if base % GRANULARITY:
+        raise AddressAssignmentError(f"base {base:#x} not 16 MiB aligned")
+
+    # 1. contiguous supernode slices in index order
+    ranges: List[Tuple[int, int]] = []
+    cursor = base
+    for spec in specs:
+        ranges.append((cursor, cursor + spec.total_bytes))
+        cursor += spec.total_bytes
+    if cursor > PHYS_LIMIT:
+        raise AddressAssignmentError(
+            f"global space {cursor:#x} exceeds the 48-bit physical limit "
+            "(paper: 256 TB with current processors)"
+        )
+    global_base, global_limit = base, cursor
+
+    plans: Dict[Tuple[int, int], NodeMapPlan] = {}
+    for s, spec in enumerate(specs):
+        sn_base, sn_limit = ranges[s]
+        # DRAM directives are identical for all nodes of the supernode.
+        dram: List[DramDirective] = []
+        nb = sn_base
+        for node_idx, node in enumerate(spec.nodes):
+            dram.append(DramDirective(nb, nb + node.dram_bytes, node_idx))
+            nb += node.dram_bytes
+
+        # Remote slices grouped by exit endpoint.
+        hops = _next_hop_table(topology, s)
+        by_exit: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for dst in range(topology.num_supernodes):
+            if dst == s:
+                continue
+            edge = hops.get(dst)
+            if edge is None:
+                raise AddressAssignmentError(f"no route {s}->{dst}")
+            ep = edge.end_at(s)
+            by_exit.setdefault((ep.node, ep.port), []).append(ranges[dst])
+
+        mmio: List[MmioDirective] = []
+        for (exit_node, exit_port), rs in sorted(by_exit.items()):
+            for b, l in _merge_ranges(rs):
+                mmio.append(MmioDirective(b, l, exit_node, exit_port))
+
+        for node_idx in range(len(spec.nodes)):
+            plan = NodeMapPlan(s, node_idx, dram=list(dram), mmio=list(mmio))
+            _validate_plan(plan, spec, global_base, global_limit)
+            plans[(s, node_idx)] = plan
+
+    return GlobalAddressMap(topology, tuple(specs), base, ranges, plans)
+
+
+def _validate_plan(plan: NodeMapPlan, spec: SupernodeSpec,
+                   global_base: int, global_limit: int) -> None:
+    """Interval-routing feasibility for one node's registers."""
+    if len(plan.dram) > NUM_MAP_ENTRIES:
+        raise AddressAssignmentError(
+            f"supernode {plan.supernode}: {len(plan.dram)} DRAM ranges exceed "
+            f"the {NUM_MAP_ENTRIES} base/limit pairs"
+        )
+    if len(plan.mmio) > NUM_MAP_ENTRIES:
+        raise AddressAssignmentError(
+            f"supernode {plan.supernode} node {plan.node}: {len(plan.mmio)} "
+            f"MMIO intervals exceed the {NUM_MAP_ENTRIES} base/limit pairs "
+            "(interval routing cannot express this topology/numbering)"
+        )
+    # Hole-free tiling of the global space (paper Fig. 3).
+    ivals = [(d.base, d.limit) for d in plan.dram] + [
+        (m.base, m.limit) for m in plan.mmio
+    ]
+    ivals.sort()
+    cursor = global_base
+    for b, l in ivals:
+        if b != cursor:
+            raise AddressAssignmentError(
+                f"supernode {plan.supernode} node {plan.node}: address map "
+                f"has a hole/overlap at {cursor:#x} (next interval {b:#x})"
+            )
+        cursor = l
+    if cursor != global_limit:
+        raise AddressAssignmentError(
+            f"supernode {plan.supernode} node {plan.node}: map ends at "
+            f"{cursor:#x}, global space ends at {global_limit:#x}"
+        )
+
+
+def uniform_cluster(
+    topology: ClusterTopology,
+    dram_bytes: int,
+    nodes_per_supernode: int = 1,
+) -> GlobalAddressMap:
+    """Convenience: identical supernodes everywhere."""
+    spec = SupernodeSpec(tuple(NodeSpec(dram_bytes) for _ in range(nodes_per_supernode)))
+    return assign_addresses(topology, [spec] * topology.num_supernodes)

@@ -1,0 +1,231 @@
+"""Cluster topology graphs: supernodes and the TCC links between them.
+
+Paper Section IV.E/F: supernodes (boards of 1-8 coherent processors) are
+interconnected by non-coherent TCCluster links through a backplane.  Each
+Opteron has four HT links; after coherent fabric and southbridge usage, a
+small number of ports per supernode remain for TCC links, so practical
+topologies are low-degree: chains, rings, 2D meshes/tori.
+
+A :class:`ClusterTopology` is a labeled graph: vertices are supernode
+indices, edges carry which (node-within-supernode, port) each end uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Endpoint",
+    "TccEdge",
+    "ClusterTopology",
+    "chain",
+    "ring",
+    "mesh2d",
+    "torus2d",
+    "fully_connected",
+    "TopologyError",
+]
+
+
+class TopologyError(ValueError):
+    """Ill-formed topology (port reuse, disconnected graph...)."""
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One end of a TCC link: which supernode, node within it, and port."""
+
+    supernode: int
+    node: int
+    port: int
+
+
+@dataclass(frozen=True)
+class TccEdge:
+    a: Endpoint
+    b: Endpoint
+
+    def other(self, supernode: int) -> Endpoint:
+        if self.a.supernode == supernode:
+            return self.b
+        if self.b.supernode == supernode:
+            return self.a
+        raise KeyError(f"edge does not touch supernode {supernode}")
+
+    def end_at(self, supernode: int) -> Endpoint:
+        if self.a.supernode == supernode:
+            return self.a
+        if self.b.supernode == supernode:
+            return self.b
+        raise KeyError(f"edge does not touch supernode {supernode}")
+
+
+class ClusterTopology:
+    """Supernode graph with per-edge port assignments."""
+
+    def __init__(self, num_supernodes: int, edges: Iterable[TccEdge],
+                 kind: str = "custom", shape: Optional[Tuple[int, ...]] = None):
+        if num_supernodes <= 0:
+            raise TopologyError("need at least one supernode")
+        self.num_supernodes = num_supernodes
+        self.edges: List[TccEdge] = list(edges)
+        self.kind = kind
+        self.shape = shape
+        self._adjacency: Dict[int, List[TccEdge]] = {
+            i: [] for i in range(num_supernodes)
+        }
+        used_ports: set = set()
+        for e in self.edges:
+            for ep in (e.a, e.b):
+                if not 0 <= ep.supernode < num_supernodes:
+                    raise TopologyError(f"endpoint {ep} references unknown supernode")
+                key = (ep.supernode, ep.node, ep.port)
+                if key in used_ports:
+                    raise TopologyError(
+                        f"port reused: supernode {ep.supernode} node {ep.node} "
+                        f"port {ep.port}"
+                    )
+                used_ports.add(key)
+            if e.a.supernode == e.b.supernode:
+                raise TopologyError("self-loop TCC link")
+            self._adjacency[e.a.supernode].append(e)
+            self._adjacency[e.b.supernode].append(e)
+
+    def neighbors(self, supernode: int) -> List[Tuple[int, TccEdge]]:
+        return [(e.other(supernode).supernode, e) for e in self._adjacency[supernode]]
+
+    def degree(self, supernode: int) -> int:
+        return len(self._adjacency[supernode])
+
+    def is_connected(self) -> bool:
+        if self.num_supernodes == 1:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            s = stack.pop()
+            for n, _ in self.neighbors(s):
+                if n not in seen:
+                    seen.add(n)
+                    stack.append(n)
+        return len(seen) == self.num_supernodes
+
+    def shortest_next_hops(self, src: int) -> Dict[int, TccEdge]:
+        """BFS: for every destination, the first edge on a shortest path."""
+        from collections import deque
+
+        first_edge: Dict[int, TccEdge] = {}
+        dist = {src: 0}
+        q = deque([src])
+        while q:
+            s = q.popleft()
+            for n, e in self.neighbors(s):
+                if n not in dist:
+                    dist[n] = dist[s] + 1
+                    first_edge[n] = first_edge.get(s, e) if s != src else e
+                    q.append(n)
+        return first_edge
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        from collections import deque
+
+        if src == dst:
+            return 0
+        dist = {src: 0}
+        q = deque([src])
+        while q:
+            s = q.popleft()
+            for n, _ in self.neighbors(s):
+                if n not in dist:
+                    dist[n] = dist[s] + 1
+                    if n == dst:
+                        return dist[n]
+                    q.append(n)
+        raise TopologyError(f"no path from {src} to {dst}")
+
+
+# ---------------------------------------------------------------------------
+# Builders.  Ports: we reserve port 0 of node 0 for the southbridge and use
+# the caller-provided port plan otherwise; default plans put TCC links on
+# the last node's free ports, matching the prototype (HTX on node 1).
+# ---------------------------------------------------------------------------
+
+def _edge(sa: int, na: int, pa: int, sb: int, nb: int, pb: int) -> TccEdge:
+    return TccEdge(Endpoint(sa, na, pa), Endpoint(sb, nb, pb))
+
+
+def chain(n: int, node: int = 0, left_port: int = 1, right_port: int = 2) -> ClusterTopology:
+    """A 1-D chain of supernodes (the 2-board prototype is chain(2))."""
+    edges = [
+        _edge(i, node, right_port, i + 1, node, left_port) for i in range(n - 1)
+    ]
+    return ClusterTopology(n, edges, kind="chain", shape=(n,))
+
+
+def ring(n: int, node: int = 0, left_port: int = 1, right_port: int = 2) -> ClusterTopology:
+    if n < 3:
+        raise TopologyError("a ring needs at least 3 supernodes")
+    edges = [
+        _edge(i, node, right_port, (i + 1) % n, node, left_port) for i in range(n)
+    ]
+    return ClusterTopology(n, edges, kind="ring", shape=(n,))
+
+
+def mesh2d(rows: int, cols: int, node: int = 0,
+           ports: Sequence[int] = (0, 1, 2, 3)) -> ClusterTopology:
+    """rows x cols mesh; ports (west, east, north, south).
+
+    The paper's physical-implementation section argues an n x n mesh with
+    blades arranged n horizontal x n vertical minimizes trace length.
+    """
+    if rows <= 0 or cols <= 0:
+        raise TopologyError("mesh dimensions must be positive")
+    pw, pe, pn, ps = ports
+
+    def sid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append(_edge(sid(r, c), node, pe, sid(r, c + 1), node, pw))
+            if r + 1 < rows:
+                edges.append(_edge(sid(r, c), node, ps, sid(r + 1, c), node, pn))
+    return ClusterTopology(rows * cols, edges, kind="mesh2d", shape=(rows, cols))
+
+
+def torus2d(rows: int, cols: int, node: int = 0,
+            ports: Sequence[int] = (0, 1, 2, 3)) -> ClusterTopology:
+    if rows < 3 or cols < 3:
+        raise TopologyError("a 2D torus needs at least 3x3 supernodes")
+    pw, pe, pn, ps = ports
+
+    def sid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append(_edge(sid(r, c), node, pe, sid(r, (c + 1) % cols), node, pw))
+            edges.append(_edge(sid(r, c), node, ps, sid((r + 1) % rows, c), node, pn))
+    return ClusterTopology(rows * cols, edges, kind="torus2d", shape=(rows, cols))
+
+
+def fully_connected(n: int, node: int = 0) -> ClusterTopology:
+    """All-to-all; limited by the four HT ports per node, so n <= 5 with a
+    single-node supernode (ports 0..3)."""
+    if n > 5:
+        raise TopologyError(
+            "fully connected topology exceeds the 4 HT ports per node"
+        )
+    edges = []
+    port_next = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            pi, pj = port_next[i], port_next[j]
+            port_next[i] += 1
+            port_next[j] += 1
+            edges.append(_edge(i, node, pi, j, node, pj))
+    return ClusterTopology(n, edges, kind="full", shape=(n,))

@@ -1,0 +1,147 @@
+"""Physical feasibility: trace lengths, blade placement, clock distribution.
+
+Paper Section IV.F states two constraints a TCCluster backplane must meet:
+
+    "First, AMD Opteron processors that communicate via HyperTransport
+    require a mesochronous link clock that is derived from the same
+    oscillator.  Second, physical trace length of the links between two
+    processors is limited to 24 inches."
+
+and proposes the mitigation this module models: a single system clock
+fanned out through a distribution tree (mesochronous, jitter-cleaned), a
+blade arrangement with n supernodes horizontal x n vertical, and coax
+cabling that extends the FR4 trace budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .graph import ClusterTopology, TccEdge
+
+__all__ = [
+    "PlacementConfig",
+    "LinkRun",
+    "PlacementReport",
+    "ClockTreeReport",
+    "place_blades",
+    "plan_clock_tree",
+    "PlacementError",
+]
+
+INCH_MM = 25.4
+#: HT spec trace budget on FR4 ("limited to 24 inches").
+FR4_LIMIT_MM = 24 * INCH_MM
+#: Coax budget: "Coaxial copper cables can provide much better signal
+#: integrity and fewer resistive loss enabling longer trace lengths".
+COAX_LIMIT_MM = 60 * INCH_MM
+
+
+class PlacementError(ValueError):
+    """Physically infeasible arrangement."""
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Rack geometry: blade pitch within a row, row (shelf) pitch."""
+
+    blade_pitch_mm: float = 30.0      # 1U-ish blade slots side by side
+    row_pitch_mm: float = 90.0        # vertical shelf spacing
+    connector_overhead_mm: float = 80.0  # board-internal routing both ends
+    use_coax: bool = True
+
+
+@dataclass(frozen=True)
+class LinkRun:
+    edge: TccEdge
+    length_mm: float
+    within_budget: bool
+
+
+@dataclass
+class PlacementReport:
+    positions: Dict[int, Tuple[float, float]]
+    runs: List[LinkRun]
+    limit_mm: float
+
+    @property
+    def feasible(self) -> bool:
+        return all(r.within_budget for r in self.runs)
+
+    @property
+    def max_run_mm(self) -> float:
+        return max((r.length_mm for r in self.runs), default=0.0)
+
+    def violations(self) -> List[LinkRun]:
+        return [r for r in self.runs if not r.within_budget]
+
+
+def _grid_positions(topology: ClusterTopology,
+                    cfg: PlacementConfig) -> Dict[int, Tuple[float, float]]:
+    """Blade positions.  Mesh shapes map directly; linear topologies fold
+    into a near-square grid, the paper's balanced x/y arrangement."""
+    n = topology.num_supernodes
+    if topology.kind in ("mesh2d", "torus2d") and topology.shape:
+        rows, cols = topology.shape
+    else:
+        cols = max(1, math.ceil(math.sqrt(n)))
+        rows = math.ceil(n / cols)
+    pos = {}
+    for s in range(n):
+        r, c = divmod(s, cols)
+        pos[s] = (c * cfg.blade_pitch_mm, r * cfg.row_pitch_mm)
+    return pos
+
+
+def place_blades(topology: ClusterTopology,
+                 cfg: Optional[PlacementConfig] = None) -> PlacementReport:
+    """Compute per-link cable runs and check them against the budget."""
+    cfg = cfg or PlacementConfig()
+    pos = _grid_positions(topology, cfg)
+    limit = COAX_LIMIT_MM if cfg.use_coax else FR4_LIMIT_MM
+    runs = []
+    for e in topology.edges:
+        (xa, ya) = pos[e.a.supernode]
+        (xb, yb) = pos[e.b.supernode]
+        # Backplane routing is rectilinear (Manhattan), plus both boards'
+        # internal escape routing.
+        length = abs(xa - xb) + abs(ya - yb) + cfg.connector_overhead_mm
+        runs.append(LinkRun(e, length, length <= limit))
+    return PlacementReport(pos, runs, limit)
+
+
+@dataclass
+class ClockTreeReport:
+    fanout: int
+    levels: int
+    buffers: int
+    skew_ps: float
+    #: Mesochronous operation only needs equal *frequency*; the skew figure
+    #: is informational (PLL/jitter cleaners absorb phase).
+    mesochronous_ok: bool
+
+
+def plan_clock_tree(num_supernodes: int, fanout: int = 8,
+                    per_level_skew_ps: float = 35.0) -> ClockTreeReport:
+    """Size the single-oscillator distribution tree of Section IV.F.
+
+    One clock source feeds distribution ICs of the given fanout; each tree
+    level adds buffer skew which jitter cleaners must absorb.
+    """
+    if num_supernodes <= 0:
+        raise PlacementError("need at least one supernode")
+    if fanout < 2:
+        raise PlacementError("clock buffers need fanout >= 2")
+    levels = max(1, math.ceil(math.log(num_supernodes, fanout)))
+    # Buffers: full tree down to the leaves.
+    buffers = 0
+    width = 1
+    for _ in range(levels):
+        buffers += width
+        width *= fanout
+    skew = levels * per_level_skew_ps
+    # Mesochronous operation tolerates arbitrary phase; it fails only if
+    # frequency sources diverge -- with one oscillator it always holds.
+    return ClockTreeReport(fanout, levels, buffers, skew, mesochronous_ok=True)

@@ -1,0 +1,106 @@
+"""Unit conventions and conversion helpers.
+
+Conventions used across the library:
+
+* **time** is in *nanoseconds* (float),
+* **sizes** are in *bytes* (int),
+* **bandwidth** is reported in *MB/s* where 1 MB = 1e6 bytes, matching the
+  units in the paper's Figures 6/7 and its Infiniband comparison,
+* link signalling rates are given in *Gbit/s per lane* as in the HT spec.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "CACHELINE",
+    "ns_to_us",
+    "us_to_ns",
+    "bytes_per_ns_to_mbps",
+    "mbps_to_bytes_per_ns",
+    "gbit_per_s_to_bytes_per_ns",
+    "bandwidth_mbps",
+    "fmt_bytes",
+    "fmt_time_ns",
+]
+
+# Time units expressed in nanoseconds.
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+S = 1_000_000_000.0
+
+# Binary sizes.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# Decimal sizes (bandwidth denominators, per the paper's MB/s).
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+#: x86 cache-line size; also the HT max dword-write payload the paper uses.
+CACHELINE = 64
+
+
+def ns_to_us(t_ns: float) -> float:
+    return t_ns / US
+
+
+def us_to_ns(t_us: float) -> float:
+    return t_us * US
+
+
+def bytes_per_ns_to_mbps(rate: float) -> float:
+    """bytes/ns -> MB/s (decimal MB).  1 byte/ns == 1000 MB/s."""
+    return rate * 1000.0
+
+
+def mbps_to_bytes_per_ns(mbps: float) -> float:
+    return mbps / 1000.0
+
+
+def gbit_per_s_to_bytes_per_ns(gbps: float) -> float:
+    """Gbit/s -> bytes/ns.  1 Gbit/s == 0.125 bytes/ns."""
+    return gbps / 8.0
+
+
+def bandwidth_mbps(nbytes: int, elapsed_ns: float) -> float:
+    """Achieved bandwidth in MB/s for ``nbytes`` over ``elapsed_ns``."""
+    if elapsed_ns <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_ns}")
+    return bytes_per_ns_to_mbps(nbytes / elapsed_ns)
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable size: 64B, 4K, 256K, 1M ... (binary steps)."""
+    if n < KiB:
+        return f"{n}B"
+    if n < MiB:
+        v = n / KiB
+        return f"{v:g}K"
+    if n < GiB:
+        v = n / MiB
+        return f"{v:g}M"
+    return f"{n / GiB:g}G"
+
+
+def fmt_time_ns(t: float) -> str:
+    """Human-readable time from nanoseconds."""
+    if t < US:
+        return f"{t:.0f} ns"
+    if t < MS:
+        return f"{t / US:.2f} us"
+    if t < S:
+        return f"{t / MS:.2f} ms"
+    return f"{t / S:.3f} s"

@@ -1,0 +1,64 @@
+"""Shared fixtures/helpers: a hand-configured two-node TCCluster.
+
+The firmware package automates this configuration later; these helpers
+program the registers directly so the datapath can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.opteron import MemoryType, OpteronChip, wire_link
+from repro.opteron.registers import GRANULARITY
+from repro.sim import Simulator
+from repro.util.calibration import DEFAULT_TIMING
+from repro.util.units import MiB
+
+NODE_MEM = 256 * MiB
+assert NODE_MEM % GRANULARITY == 0
+
+
+@dataclass
+class TccPair:
+    sim: Simulator
+    chip0: OpteronChip
+    chip1: OpteronChip
+    link: object
+
+    @property
+    def chips(self):
+        return (self.chip0, self.chip1)
+
+
+def make_tcc_pair(timing=DEFAULT_TIMING, activate: bool = True, **link_kw) -> TccPair:
+    """Two chips, one TCC link on port 0 of each, registers programmed by
+    hand exactly as the firmware's Northbridge-Init step would:
+
+    * global address space: node0 DRAM [0, 256M), node1 DRAM [256M, 512M),
+    * each node: NodeID 0, own range as DRAM entry, other range as MMIO
+      entry with DstNode=0 (self) and DstLink=0 (the TCC port),
+    * MTRRs: remote window WC (transmit), local window left WB by default
+      (tests set UC where polling correctness matters).
+    """
+    sim = Simulator()
+    chip0 = OpteronChip(sim, "node0", memory_bytes=NODE_MEM, timing=timing)
+    chip1 = OpteronChip(sim, "node1", memory_bytes=NODE_MEM, timing=timing)
+    link = wire_link(sim, chip0, 0, chip1, 0, name="tcc", timing=timing, **link_kw)
+
+    for chip, base in ((chip0, 0), (chip1, NODE_MEM)):
+        chip.node_id_reg().nodeid = 0
+        chip.dram_pair(0).program(base, base + NODE_MEM, dst_node=0)
+        remote_base = NODE_MEM - base  # the other node's range
+        chip.mmio_pair(0).program(remote_base, remote_base + NODE_MEM,
+                                  dst_node=0, dst_link=0)
+        chip.dram_config().program(NODE_MEM)
+        # Transmit path: remote window is write-combining.
+        chip.mtrr.add(remote_base, NODE_MEM, MemoryType.WC)
+        chip.nb.validate()
+
+    if activate:
+        link.set_rate(timing.link_width_bits, timing.link_gbit_per_lane)
+        link.activate("noncoherent")
+    chip0.start()
+    chip1.start()
+    return TccPair(sim, chip0, chip1, link)

@@ -1,0 +1,89 @@
+"""Tests for the NIC baseline models: calibration to the paper's quotes."""
+
+import pytest
+
+from repro.baselines import CONNECTX_IB, GIGE, TEN_GBE, NicLink
+from repro.bench import run_nic_des_bandwidth, run_nic_des_latency
+from repro.sim import Simulator
+from repro.util.calibration import DEFAULT_IB
+
+
+def test_analytic_ib_model_hits_paper_points():
+    """Paper Section VI quotes for ConnectX: 200 / 1500 / 2500 MB/s at
+    64 B / 1 KB / 1 MB, and ~1.4 us latency."""
+    assert DEFAULT_IB.bandwidth_mbps(64) == pytest.approx(200, rel=0.02)
+    assert DEFAULT_IB.bandwidth_mbps(1024) == pytest.approx(1500, rel=0.06)
+    assert DEFAULT_IB.bandwidth_mbps(1 << 20) == pytest.approx(2500, rel=0.04)
+    assert DEFAULT_IB.latency_ns(64) == pytest.approx(1400, rel=0.03)
+
+
+def test_des_matches_analytic_model():
+    """The event-driven NIC and the closed-form model must agree."""
+    for size in (64, 1024, 65536):
+        des = run_nic_des_bandwidth(CONNECTX_IB, size, messages=12)
+        analytic = DEFAULT_IB.bandwidth_mbps(size)
+        assert des == pytest.approx(analytic, rel=0.15)
+    assert run_nic_des_latency(CONNECTX_IB, 64) == pytest.approx(
+        DEFAULT_IB.latency_ns(64), rel=0.05
+    )
+
+
+def test_delivery_preserves_data_and_order():
+    sim = Simulator()
+    link = NicLink(sim, CONNECTX_IB)
+    tx, rx = link.endpoint(0), link.endpoint(1)
+    msgs = [bytes([i]) * (100 + i) for i in range(10)]
+    got = []
+
+    def sender():
+        for m in msgs:
+            yield from tx.send(m)
+
+    def receiver():
+        for _ in msgs:
+            got.append((yield from rx.recv()))
+
+    sim.process(sender())
+    done = sim.process(receiver())
+    sim.run_until_event(done)
+    assert got == msgs
+
+
+def test_bidirectional_nic():
+    sim = Simulator()
+    link = NicLink(sim, CONNECTX_IB)
+    a, b = link.endpoint(0), link.endpoint(1)
+    out = {}
+
+    def side_a():
+        yield from a.send(b"ping")
+        out["a"] = yield from a.recv()
+
+    def side_b():
+        msg = yield from b.recv()
+        yield from b.send(b"pong:" + msg)
+
+    sim.process(side_b())
+    done = sim.process(side_a())
+    sim.run_until_event(done)
+    assert out["a"] == b"pong:ping"
+
+
+def test_empty_message_rejected():
+    sim = Simulator()
+    link = NicLink(sim, CONNECTX_IB)
+    with pytest.raises(ValueError):
+        next(link.endpoint(0).send(b""))
+
+
+def test_ethernet_much_slower_than_ib():
+    assert TEN_GBE.per_message_overhead_ns > CONNECTX_IB.per_message_overhead_ns
+    assert GIGE.base_latency_ns > TEN_GBE.base_latency_ns
+    lat_ib = run_nic_des_latency(CONNECTX_IB, 64, iters=5)
+    lat_10g = run_nic_des_latency(TEN_GBE, 64, iters=5)
+    assert lat_10g > 5 * lat_ib
+
+
+def test_pipeline_fixed_latency_nonnegative():
+    for p in (CONNECTX_IB, TEN_GBE, GIGE):
+        assert p.pipeline_fixed_ns >= 0

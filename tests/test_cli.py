@@ -1,0 +1,26 @@
+"""Smoke test for the `python -m repro.bench` command-line harness."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_all_experiments_registered():
+    assert set(EXPERIMENTS) == {
+        "fig6", "fig7", "hops", "ib", "coherence", "boot", "endpoints",
+        "wc", "ordering", "reliability", "futures", "app", "mpi", "anatomy",
+    }
+
+
+def test_cli_runs_selected_experiments(capsys):
+    rc = main(["hops", "boot"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Multi-hop latency" in out
+    assert "extra hops" in out
+    assert "Boot" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["warp-drive"])

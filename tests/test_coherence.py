@@ -1,0 +1,216 @@
+"""Tests for the MESI protocol and the coherent-system model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence import (
+    Action,
+    CoherentSystem,
+    ProtocolError,
+    State,
+    check_line_invariant,
+    local_read,
+    local_write,
+    probe_invalidate,
+    probe_shared,
+    read_fill_state,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Protocol tables (pure)
+# ---------------------------------------------------------------------------
+
+def test_read_transitions():
+    assert local_read(State.MODIFIED).action is Action.NONE
+    assert local_read(State.EXCLUSIVE).action is Action.NONE
+    assert local_read(State.SHARED).action is Action.NONE
+    t = local_read(State.INVALID)
+    assert t.action is Action.FETCH and t.new_state is State.SHARED
+
+
+def test_write_transitions():
+    assert local_write(State.MODIFIED).action is Action.NONE
+    t = local_write(State.EXCLUSIVE)
+    assert t.action is Action.NONE and t.new_state is State.MODIFIED
+    assert local_write(State.SHARED).action is Action.UPGRADE
+    assert local_write(State.INVALID).action is Action.FETCH_EXCLUSIVE
+
+
+def test_probe_shared_downgrades():
+    assert probe_shared(State.MODIFIED) == (State.SHARED, True)
+    assert probe_shared(State.EXCLUSIVE) == (State.SHARED, False)
+    assert probe_shared(State.SHARED) == (State.SHARED, False)
+    assert probe_shared(State.INVALID) == (State.INVALID, False)
+
+
+def test_probe_invalidate_drops_everyone():
+    assert probe_invalidate(State.MODIFIED) == (State.INVALID, True)
+    assert probe_invalidate(State.SHARED) == (State.INVALID, False)
+
+
+def test_read_fill_state():
+    assert read_fill_state(any_other_sharer=False) is State.EXCLUSIVE
+    assert read_fill_state(any_other_sharer=True) is State.SHARED
+
+
+def test_invariant_checker():
+    check_line_invariant([State.SHARED, State.SHARED, State.INVALID])
+    check_line_invariant([State.MODIFIED, State.INVALID])
+    with pytest.raises(ProtocolError):
+        check_line_invariant([State.MODIFIED, State.MODIFIED])
+    with pytest.raises(ProtocolError):
+        check_line_invariant([State.EXCLUSIVE, State.SHARED])
+
+
+# ---------------------------------------------------------------------------
+# System behaviour
+# ---------------------------------------------------------------------------
+
+def run_ops(system, ops):
+    """ops: list of (node_id, 'r'/'w', addr[, value]); returns results."""
+    sim = system.sim
+    results = []
+
+    def driver():
+        for op in ops:
+            if op[1] == "r":
+                v = yield from system.nodes[op[0]].read(op[2])
+                results.append(v)
+            else:
+                yield from system.nodes[op[0]].write(op[2], op[3])
+                results.append(None)
+
+    done = sim.process(driver())
+    sim.run_until_event(done)
+    return results
+
+
+def test_read_miss_fills_exclusive_then_shared():
+    sim = Simulator()
+    s = CoherentSystem(sim, 4)
+    run_ops(s, [(0, "r", 0x40)])
+    assert s.line_state(0x40, 0) is State.EXCLUSIVE
+    run_ops(s, [(1, "r", 0x40)])
+    assert s.line_state(0x40, 0) is State.SHARED
+    assert s.line_state(0x40, 1) is State.SHARED
+
+
+def test_write_invalidates_sharers():
+    sim = Simulator()
+    s = CoherentSystem(sim, 4)
+    run_ops(s, [(0, "r", 0x40), (1, "r", 0x40), (2, "w", 0x40, 99)])
+    assert s.line_state(0x40, 2) is State.MODIFIED
+    assert s.line_state(0x40, 0) is State.INVALID
+    assert s.line_state(0x40, 1) is State.INVALID
+
+
+def test_read_your_writes_and_remote_visibility():
+    sim = Simulator()
+    s = CoherentSystem(sim, 4)
+    got = run_ops(s, [(0, "w", 0x80, 1234), (0, "r", 0x80), (3, "r", 0x80)])
+    assert got[1] == 1234  # own write visible
+    assert got[2] == 1234  # dirty data supplied to the remote reader
+
+
+def test_silent_e_to_m_upgrade():
+    sim = Simulator()
+    s = CoherentSystem(sim, 2)
+    run_ops(s, [(0, "r", 0xC0)])
+    probes_before = s.nodes[0].stats.probes_sent
+    run_ops(s, [(0, "w", 0xC0, 5)])
+    assert s.line_state(0xC0, 0) is State.MODIFIED
+    assert s.nodes[0].stats.probes_sent == probes_before  # silent upgrade
+
+
+def test_broadcast_probes_everyone():
+    sim = Simulator()
+    s = CoherentSystem(sim, 8, protocol="broadcast")
+    run_ops(s, [(0, "w", 0x100, 1)])
+    assert s.nodes[0].stats.probes_sent == 7
+
+
+def test_directory_probes_only_sharers():
+    sim = Simulator()
+    s = CoherentSystem(sim, 8, protocol="directory")
+    run_ops(s, [(0, "r", 0x100), (1, "r", 0x100), (2, "w", 0x100, 1)])
+    # Node 2's RFO probed exactly nodes 0 and 1.
+    assert s.nodes[2].stats.probes_sent == 2
+    assert s.nodes[2].stats.directory_lookups >= 1
+
+
+def test_broadcast_costs_more_latency_at_scale():
+    def avg_write_latency(n, protocol):
+        sim = Simulator()
+        s = CoherentSystem(sim, n, protocol=protocol)
+
+        def w(node):
+            for i in range(10):
+                yield from node.write(0x40 * (i % 4), i)
+
+        done = sim.process(w(s.nodes[0]))
+        sim.run_until_event(done)
+        return sim.now / 10
+
+    assert avg_write_latency(32, "broadcast") > avg_write_latency(4, "broadcast")
+
+
+def test_concurrent_writers_never_violate_invariant():
+    sim = Simulator()
+    s = CoherentSystem(sim, 8)
+
+    def hammer(node, seed):
+        for i in range(40):
+            yield from node.write(0x40 * ((seed + i) % 4), seed * 1000 + i)
+            yield from node.read(0x40 * ((seed * 3 + i) % 4))
+
+    procs = [sim.process(hammer(n, i)) for i, n in enumerate(s.nodes)]
+    sim.run_until_event(sim.all_of(procs))
+    assert s.check_all_invariants() > 0
+
+
+def test_last_writer_wins_value():
+    sim = Simulator()
+    s = CoherentSystem(sim, 4)
+    run_ops(s, [(0, "w", 0x40, 1), (1, "w", 0x40, 2), (2, "r", 0x40)])
+    got = run_ops(s, [(3, "r", 0x40)])
+    assert got[0] == 2
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from("rw"), st.integers(0, 3)),
+        min_size=1, max_size=60,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_sequential_consistency_against_reference(ops):
+    """Property: for a serial op stream, every read returns the value of
+    the latest preceding write to that line (data never lost/corrupted),
+    and invariants hold after every step."""
+    sim = Simulator()
+    s = CoherentSystem(sim, 4)
+    ref = {}
+    seq = []
+    for i, (node, kind, lineno) in enumerate(ops):
+        addr = 0x40 * lineno
+        if kind == "w":
+            seq.append((node, "w", addr, i + 1))
+            ref[addr] = i + 1
+        else:
+            seq.append((node, "r", addr))
+    results = run_ops(s, seq)
+    ref2 = {}
+    for (op, res) in zip(seq, results):
+        if op[1] == "w":
+            ref2[op[2]] = op[3]
+        else:
+            assert res == ref2.get(op[2], 0)
+    s.check_all_invariants()
+
+
+def test_bad_protocol_name_rejected():
+    with pytest.raises(ValueError):
+        CoherentSystem(Simulator(), 4, protocol="magic")

@@ -1,0 +1,229 @@
+"""Tests for the firmware: boards, enumeration, the 13-step boot sequence."""
+
+import pytest
+
+from repro.firmware import (
+    Board,
+    BoardPlan,
+    FirmwareError,
+    TCClusterFirmware,
+    TYAN_S2912E,
+    single_chip_layout,
+)
+from repro.firmware.boot import mtrr_cover
+from repro.opteron import RESET_NODEID
+from repro.sim import Barrier, Simulator
+from repro.topology import chain, uniform_cluster
+from repro.util.units import MiB
+
+M256 = 256 * MiB
+
+
+def make_two_boards(sim=None):
+    """The Figure 5 prototype: two Tyan boards, HTX cable node1<->node1."""
+    from repro.opteron import wire_link
+
+    sim = sim or Simulator()
+    topo = chain(2, node=1, left_port=2, right_port=2)
+    amap = uniform_cluster(topo, M256, nodes_per_supernode=2)
+    boards = [Board(sim, f"b{i}", layout=TYAN_S2912E, memory_bytes=M256)
+              for i in range(2)]
+    wire_link(sim, boards[0].chips[1], 2, boards[1].chips[1], 2, name="htx")
+    rail = Barrier(sim, parties=2, name="rail")
+    fws = []
+    for s, board in enumerate(boards):
+        plan = BoardPlan(
+            rank=s,
+            node_plans=[amap.plan_for(s, ci) for ci in range(2)],
+            tcc_ports=[(1, 2)],
+        )
+        fws.append(TCClusterFirmware(board, plan, rail))
+    return sim, boards, fws, amap
+
+
+def boot_all(sim, fws):
+    procs = [sim.process(fw.boot()) for fw in fws]
+    sim.run_until_event(sim.all_of(procs))
+    return [p.value for p in procs]
+
+
+# ---------------------------------------------------------------------------
+# Full boot
+# ---------------------------------------------------------------------------
+
+def test_full_boot_completes_all_stages():
+    sim, boards, fws, _ = make_two_boards()
+    reports = boot_all(sim, fws)
+    for rep in reports:
+        assert set(rep.stage_times) == {
+            "cold_reset", "coherent_enumeration", "force_noncoherent",
+            "warm_reset", "northbridge_init", "cpu_msr_init", "memory_init",
+            "exit_car", "noncoherent_enumeration", "post_init",
+        }
+        assert rep.tcc_links_verified == 1
+
+
+def test_boot_trains_tcc_link_noncoherent():
+    sim, boards, fws, _ = make_two_boards()
+    boot_all(sim, fws)
+    htx = boards[0].chips[1].ports[2].link
+    assert htx.link_type == "noncoherent"
+    assert htx.width_bits == 16
+    assert htx.gbit_per_lane == pytest.approx(1.6)
+
+
+def test_boot_keeps_internal_link_coherent_and_fast():
+    sim, boards, fws, _ = make_two_boards()
+    boot_all(sim, fws)
+    internal = boards[0].chips[0].ports[3].link
+    assert internal.link_type == "coherent"
+    assert internal.gbit_per_lane == pytest.approx(2.6)  # HT3 full speed
+
+
+def test_boot_programs_address_maps():
+    sim, boards, fws, amap = make_two_boards()
+    boot_all(sim, fws)
+    nb = boards[0].chips[1].nb
+    # Node b0.n1 sees its own DRAM locally and board1's space as MMIO.
+    from repro.opteron import RouteKind
+
+    assert nb.route(amap.node_range(0, 1)[0]).kind is RouteKind.DRAM_LOCAL
+    assert nb.route(amap.node_range(0, 0)[0]).kind is RouteKind.DRAM_REMOTE
+    r = nb.route(amap.node_range(1, 0)[0])
+    assert r.kind is RouteKind.MMIO_LOCAL_LINK
+    assert r.dst_link == 2
+
+
+def test_boot_shadows_rom_into_dram():
+    sim, boards, fws, _ = make_two_boards()
+    reports = boot_all(sim, fws)
+    rep = reports[0]
+    assert rep.rom_shadow_addr is not None
+    image = boards[0].chips[0].memory.read(0x10000, 16)
+    assert image.startswith(b"coreboot")
+
+
+def test_boot_finds_southbridge_not_tcc_peer():
+    sim, boards, fws, _ = make_two_boards()
+    reports = boot_all(sim, fws)
+    assert len(reports[0].nc_devices) == 1
+    assert reports[0].nc_devices[0] is boards[0].southbridge
+    assert boards[0].chips[1].nb.counters["nc_enum_skipped_tcc"] == 1
+
+
+def test_data_flows_after_boot():
+    sim, boards, fws, amap = make_two_boards()
+    boot_all(sim, fws)
+    boards[0].chips[1].mtrr.ranges  # firmware's WC windows exist
+    core = boards[0].chips[1].cores[0]
+    target = amap.node_range(1, 1)[0] + 0x4000
+
+    def tx():
+        yield from core.store(target, b"\xA5" * 64)
+        yield from core.sfence()
+
+    sim.process(tx())
+    sim.run()
+    assert boards[1].chips[1].memory.read(0x4000, 64) == b"\xA5" * 64
+
+
+# ---------------------------------------------------------------------------
+# Sequence enforcement
+# ---------------------------------------------------------------------------
+
+def test_steps_out_of_order_rejected():
+    sim, boards, fws, _ = make_two_boards()
+    fw = fws[0]
+
+    def bad():
+        yield from fw.force_noncoherent()  # before cold reset
+
+    proc = sim.process(bad())
+    with pytest.raises(FirmwareError, match="out of order"):
+        sim.run_until_event(proc)
+
+
+def test_skipping_force_noncoherent_fails_verification():
+    """Without the debug register write, the warm reset re-trains the TCC
+    link coherent and the firmware's check (step 4) catches it."""
+    sim, boards, fws, _ = make_two_boards()
+
+    def broken_boot(fw):
+        yield from fw.cold_reset()
+        yield from fw.do_coherent_enumeration()
+        # Cheat past the stage counter without writing the debug bits.
+        fw._enter("force_noncoherent")
+        yield from fw.ctx.step(1)
+        yield from fw.warm_reset()
+
+    procs = [sim.process(broken_boot(fw)) for fw in fws]
+    with pytest.raises(FirmwareError, match="force-non-coherent"):
+        sim.run_until_event(sim.all_of(procs))
+
+
+def test_plan_chip_count_mismatch_rejected():
+    sim = Simulator()
+    board = Board(sim, "b", layout=TYAN_S2912E, memory_bytes=M256)
+    plan = BoardPlan(rank=0, node_plans=[], tcc_ports=[])
+    with pytest.raises(FirmwareError, match="node plans"):
+        TCClusterFirmware(board, plan, Barrier(sim, 1))
+
+
+# ---------------------------------------------------------------------------
+# Enumeration details
+# ---------------------------------------------------------------------------
+
+def test_enumeration_assigns_sequential_nodeids():
+    sim, boards, fws, _ = make_two_boards()
+    boot_all(sim, fws)
+    for board in boards:
+        ids = sorted(chip.nodeid for chip in board.chips)
+        assert ids == [0, 1]
+
+
+def test_enumeration_without_skip_escapes_the_board():
+    """The stock-firmware hazard: with TCC ports not skipped, the DFS
+    crosses the (still coherent) TCC link and claims foreign chips."""
+    from repro.firmware.boot import FirmwareContext
+    from repro.firmware.enumeration import coherent_enumeration
+
+    sim, boards, fws, _ = make_two_boards()
+    # Cold-reset both boards so all links (incl. TCC) train coherent.
+    evs = boards[0].assert_cold_reset() + boards[1].assert_cold_reset()
+    sim.run_until_event(sim.all_of(evs))
+    ctx = FirmwareContext(sim, boards[0].southbridge)
+    proc = sim.process(
+        coherent_enumeration(ctx, boards[0].bsp, skip_ports=set(),
+                             board_chips=boards[0].chips)
+    )
+    result = sim.run_until_event(proc)
+    assert len(result.foreign_nodes) == 2  # claimed the other board's chips
+    assert len(result.nodes) == 4
+
+
+def test_nodeid_reset_sentinel_respected():
+    sim = Simulator()
+    board = Board(sim, "b", layout=TYAN_S2912E, memory_bytes=M256)
+    for chip in board.chips:
+        assert chip.nodeid == RESET_NODEID
+
+
+# ---------------------------------------------------------------------------
+# mtrr_cover helper
+# ---------------------------------------------------------------------------
+
+def test_mtrr_cover_power_of_two():
+    assert mtrr_cover(0, 1 << 28) == [(0, 1 << 28)]
+
+
+def test_mtrr_cover_split():
+    chunks = mtrr_cover(256 * MiB, 256 * MiB + 3 * 16 * MiB)
+    assert sum(size for _, size in chunks) == 3 * 16 * MiB
+    for base, size in chunks:
+        assert size & (size - 1) == 0
+        assert base % size == 0
+
+
+def test_mtrr_cover_rejects_bad_range():
+    with pytest.raises(ValueError):
+        mtrr_cover(100, 100)

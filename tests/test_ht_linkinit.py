@@ -1,0 +1,151 @@
+"""Tests for the link-init FSM: cold/warm reset, force-non-coherent."""
+
+import pytest
+
+from repro.ht import (
+    BOOT_GBIT_PER_LANE,
+    BOOT_WIDTH_BITS,
+    Link,
+    LinkInitFSM,
+    LinkSide,
+    LinkState,
+    LinkTrainingError,
+)
+from repro.sim import Simulator
+
+
+def trained(sim, fsm, kind="cold", skew=0.0):
+    """Assert reset on both sides (optionally skewed) and run training."""
+    ev_a = fsm.assert_reset(LinkSide.A, kind)
+    if skew:
+        sim.run(until=sim.now + skew)
+    ev_b = fsm.assert_reset(LinkSide.B, kind)
+    sim.run()
+    return ev_a, ev_b
+
+
+def test_cold_reset_trains_coherent_between_two_cpus():
+    """Paper: 'In the case of two Opterons the link type will be coherent.'"""
+    sim = Simulator()
+    link = Link(sim, "l0")
+    fsm = LinkInitFSM(sim, link)
+    ev_a, ev_b = trained(sim, fsm, "cold")
+    assert link.state == LinkState.ACTIVE
+    assert link.link_type == "coherent"
+    assert ev_a.value == "coherent" and ev_b.value == "coherent"
+
+
+def test_cold_reset_uses_boot_rate():
+    sim = Simulator()
+    link = Link(sim, "l0")
+    fsm = LinkInitFSM(sim, link)
+    trained(sim, fsm, "cold")
+    assert link.width_bits == BOOT_WIDTH_BITS
+    assert link.gbit_per_lane == BOOT_GBIT_PER_LANE
+
+
+def test_southbridge_identifies_noncoherent():
+    sim = Simulator()
+    link = Link(sim, "sb")
+    fsm = LinkInitFSM(sim, link)
+    fsm.persona(LinkSide.B).identify_coherent = False  # southbridge side
+    trained(sim, fsm, "cold")
+    assert link.link_type == "noncoherent"
+
+
+def test_force_noncoherent_takes_effect_only_at_warm_reset():
+    """The core TCCluster mechanism (paper Section IV.B)."""
+    sim = Simulator()
+    link = Link(sim, "tcc")
+    fsm = LinkInitFSM(sim, link)
+    trained(sim, fsm, "cold")
+    assert link.link_type == "coherent"
+
+    # Firmware writes the debug register: nothing changes yet.
+    fsm.set_force_noncoherent(LinkSide.A)
+    fsm.set_force_noncoherent(LinkSide.B)
+    assert link.link_type == "coherent"
+
+    # Warm reset: reinitialization applies the pending modification.
+    trained(sim, fsm, "warm")
+    assert link.link_type == "noncoherent"
+
+
+def test_warm_reset_applies_programmed_rate():
+    """Paper: 'the link speed is increased from 400 to 4.800 Mbit/s'
+    (we program the prototype's cable-limited 1600 Mbit/s)."""
+    sim = Simulator()
+    link = Link(sim, "tcc")
+    fsm = LinkInitFSM(sim, link)
+    trained(sim, fsm, "cold")
+    fsm.program_rate(LinkSide.A, 16, 1.6)
+    fsm.program_rate(LinkSide.B, 16, 1.6)
+    trained(sim, fsm, "warm")
+    assert link.width_bits == 16
+    assert link.gbit_per_lane == 1.6
+
+
+def test_rate_negotiation_takes_minimum():
+    sim = Simulator()
+    link = Link(sim, "l")
+    fsm = LinkInitFSM(sim, link)
+    trained(sim, fsm, "cold")
+    fsm.program_rate(LinkSide.A, 16, 2.0)
+    fsm.program_rate(LinkSide.B, 8, 1.6)
+    trained(sim, fsm, "warm")
+    assert link.width_bits == 8
+    assert link.gbit_per_lane == 1.6
+
+
+def test_program_rate_beyond_capability_rejected():
+    sim = Simulator()
+    link = Link(sim, "l")
+    fsm = LinkInitFSM(sim, link)
+    with pytest.raises(LinkTrainingError):
+        fsm.program_rate(LinkSide.A, 32, 1.6)
+    with pytest.raises(LinkTrainingError):
+        fsm.program_rate(LinkSide.A, 16, 9.9)
+
+
+def test_cold_reset_clears_force_bit_and_pending_rate():
+    sim = Simulator()
+    link = Link(sim, "l")
+    fsm = LinkInitFSM(sim, link)
+    trained(sim, fsm, "cold")
+    fsm.set_force_noncoherent(LinkSide.A)
+    fsm.program_rate(LinkSide.A, 16, 1.6)
+    trained(sim, fsm, "cold")  # cold reset wipes pending config
+    assert link.link_type == "coherent"
+    assert link.width_bits == BOOT_WIDTH_BITS
+
+
+def test_reset_skew_beyond_tolerance_fails_training():
+    """Models the prototype requirement to 'power them up simultaneously'."""
+    sim = Simulator()
+    link = Link(sim, "l")
+    fsm = LinkInitFSM(sim, link, skew_tolerance_ns=100.0)
+    ev_a = fsm.assert_reset(LinkSide.A, "cold")
+    sim.run(until=500.0)
+    ev_b = fsm.assert_reset(LinkSide.B, "cold")
+    with pytest.raises(LinkTrainingError, match="skew"):
+        sim.run_until_event(ev_b)
+    assert link.state == LinkState.DOWN
+    assert ev_a.triggered and not ev_a.ok
+
+
+def test_reset_skew_within_tolerance_is_fine():
+    sim = Simulator()
+    link = Link(sim, "l")
+    fsm = LinkInitFSM(sim, link, skew_tolerance_ns=100.0)
+    trained(sim, fsm, "cold", skew=50.0)
+    assert link.state == LinkState.ACTIVE
+
+
+def test_train_count_and_kind_tracked():
+    sim = Simulator()
+    link = Link(sim, "l")
+    fsm = LinkInitFSM(sim, link)
+    trained(sim, fsm, "cold")
+    trained(sim, fsm, "warm")
+    assert fsm.train_count == 2
+    assert fsm.last_kind == "warm"

@@ -1,0 +1,241 @@
+"""Unit + property tests for HT packet encode/decode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ht.packet import (
+    ADDR_EXTENSION_THRESHOLD,
+    Command,
+    Packet,
+    PacketError,
+    VirtualChannel,
+    make_broadcast,
+    make_nonposted_write,
+    make_posted_write,
+    make_read,
+    make_read_response,
+    make_target_done,
+)
+
+
+# ---------------------------------------------------------------------------
+# Command classification
+# ---------------------------------------------------------------------------
+
+def test_posted_write_is_posted_request():
+    cmd = Command.WRITE_POSTED
+    assert cmd.is_request and cmd.is_posted and not cmd.expects_response
+
+
+def test_nonposted_write_expects_response():
+    cmd = Command.WRITE_NONPOSTED
+    assert cmd.is_request and not cmd.is_posted and cmd.expects_response
+
+
+def test_read_expects_response():
+    assert Command.READ.expects_response
+
+
+def test_responses_are_not_requests():
+    for cmd in (Command.READ_RESPONSE, Command.TARGET_DONE):
+        assert cmd.is_response and not cmd.is_request
+
+
+def test_vc_assignment():
+    assert VirtualChannel.for_command(Command.WRITE_POSTED) is VirtualChannel.POSTED
+    assert VirtualChannel.for_command(Command.READ) is VirtualChannel.NONPOSTED
+    assert (
+        VirtualChannel.for_command(Command.READ_RESPONSE) is VirtualChannel.RESPONSE
+    )
+    assert VirtualChannel.for_command(Command.BROADCAST) is VirtualChannel.POSTED
+
+
+# ---------------------------------------------------------------------------
+# Construction validation
+# ---------------------------------------------------------------------------
+
+def test_write_payload_must_be_dword_granular():
+    with pytest.raises(PacketError):
+        make_posted_write(0x1000, b"abc")
+
+
+def test_write_needs_payload():
+    with pytest.raises(PacketError):
+        make_posted_write(0x1000, b"")
+
+
+def test_payload_max_16_dwords():
+    make_posted_write(0x1000, b"\x00" * 64)  # ok
+    with pytest.raises(PacketError):
+        make_posted_write(0x1000, b"\x00" * 68)
+
+
+def test_address_must_be_dword_aligned():
+    with pytest.raises(PacketError):
+        make_posted_write(0x1001, b"\x00" * 4)
+
+
+def test_address_beyond_48_bits_rejected():
+    with pytest.raises(PacketError):
+        make_posted_write(1 << 48, b"\x00" * 4)
+
+
+def test_srctag_range_checked():
+    with pytest.raises(PacketError):
+        Packet(cmd=Command.READ, addr=0, srctag=32)
+
+
+def test_read_count_range():
+    with pytest.raises(PacketError):
+        make_read(0x1000, 0, srctag=1)
+    with pytest.raises(PacketError):
+        make_read(0x1000, 17, srctag=1)
+
+
+# ---------------------------------------------------------------------------
+# Wire size model
+# ---------------------------------------------------------------------------
+
+def test_wire_bytes_64b_payload_is_76():
+    """The calibration anchor: 8 header + 64 payload + 4 CRC = 76 bytes,
+    which at 3.2 bytes/ns gives the paper's ~2700 MB/s sustained rate."""
+    pkt = make_posted_write(0x1000, b"\x00" * 64)
+    assert pkt.wire_bytes() == 76
+
+
+def test_wire_bytes_includes_extension_above_2_40():
+    low = make_posted_write(0x1000, b"\x00" * 4)
+    high = make_posted_write(ADDR_EXTENSION_THRESHOLD, b"\x00" * 4)
+    assert high.wire_bytes() == low.wire_bytes() + 4
+    assert high.needs_extension and not low.needs_extension
+
+
+def test_read_has_no_payload_on_wire():
+    pkt = make_read(0x2000, 16, srctag=3)
+    assert pkt.wire_bytes() == 12  # 8 header + 4 crc
+    assert pkt.dword_count == 16
+
+
+# ---------------------------------------------------------------------------
+# Encode / decode roundtrips
+# ---------------------------------------------------------------------------
+
+def test_roundtrip_posted_write():
+    pkt = make_posted_write(0xAB_CDEF00, bytes(range(64)), unitid=5, seqid=3)
+    out = Packet.decode(pkt.encode())
+    assert out.cmd is Command.WRITE_POSTED
+    assert out.addr == 0xAB_CDEF00
+    assert out.data == bytes(range(64))
+    assert out.unitid == 5
+    assert out.seqid == 3
+
+
+def test_roundtrip_high_address_write():
+    addr = (0x56 << 40) | 0x1000  # above 2^40, within 48-bit phys space
+    pkt = make_posted_write(addr, b"\xAA" * 8)
+    out = Packet.decode(pkt.encode())
+    assert out.addr == addr
+    assert out.data == b"\xAA" * 8
+
+
+def test_roundtrip_read():
+    pkt = make_read(0x8000_0000, 7, srctag=21, unitid=2)
+    out = Packet.decode(pkt.encode())
+    assert out.cmd is Command.READ
+    assert out.addr == 0x8000_0000
+    assert out.srctag == 21
+    assert out.dword_count == 7
+    assert out.data == b""
+
+
+def test_roundtrip_read_response():
+    pkt = make_read_response(b"\x11" * 28, srctag=9, unitid=4)
+    out = Packet.decode(pkt.encode())
+    assert out.cmd is Command.READ_RESPONSE
+    assert out.srctag == 9
+    assert out.data == b"\x11" * 28
+    assert not out.error
+
+
+def test_roundtrip_target_done_with_error():
+    pkt = make_target_done(srctag=14, error=True)
+    out = Packet.decode(pkt.encode())
+    assert out.cmd is Command.TARGET_DONE
+    assert out.srctag == 14
+    assert out.error
+
+
+def test_roundtrip_broadcast():
+    pkt = make_broadcast(0xFEE0_0000, b"\x01\x02\x03\x04")
+    out = Packet.decode(pkt.encode())
+    assert out.cmd is Command.BROADCAST
+    assert out.addr == 0xFEE0_0000
+
+
+def test_decode_detects_corruption():
+    wire = bytearray(make_posted_write(0x1000, b"\x55" * 16).encode())
+    wire[10] ^= 0xFF
+    with pytest.raises(PacketError, match="CRC"):
+        Packet.decode(bytes(wire))
+
+
+def test_decode_short_packet():
+    with pytest.raises(PacketError, match="short"):
+        Packet.decode(b"\x00" * 4)
+
+
+# ---------------------------------------------------------------------------
+# Property-based roundtrips
+# ---------------------------------------------------------------------------
+
+@given(
+    addr=st.integers(min_value=0, max_value=(1 << 48) - 1).map(lambda a: a & ~0x3),
+    ndwords=st.integers(min_value=1, max_value=16),
+    unitid=st.integers(min_value=0, max_value=31),
+    seqid=st.integers(min_value=0, max_value=15),
+    payload=st.binary(min_size=64, max_size=64),
+)
+@settings(max_examples=200)
+def test_posted_write_roundtrip_property(addr, ndwords, unitid, seqid, payload):
+    data = payload[: 4 * ndwords]
+    pkt = make_posted_write(addr, data, unitid=unitid, seqid=seqid)
+    out = Packet.decode(pkt.encode())
+    assert (out.addr, out.data, out.unitid, out.seqid) == (addr, data, unitid, seqid)
+    assert out.vc is VirtualChannel.POSTED
+
+
+@given(
+    addr=st.integers(min_value=0, max_value=(1 << 48) - 1).map(lambda a: a & ~0x3),
+    dwords=st.integers(min_value=1, max_value=16),
+    srctag=st.integers(min_value=0, max_value=31),
+)
+@settings(max_examples=100)
+def test_read_roundtrip_property(addr, dwords, srctag):
+    pkt = make_read(addr, dwords, srctag=srctag)
+    out = Packet.decode(pkt.encode())
+    assert (out.addr, out.dword_count, out.srctag) == (addr, dwords, srctag)
+
+
+@given(
+    srctag=st.integers(min_value=0, max_value=31),
+    ndwords=st.integers(min_value=1, max_value=16),
+    fill=st.binary(min_size=64, max_size=64),
+    error=st.booleans(),
+)
+@settings(max_examples=100)
+def test_response_roundtrip_property(srctag, ndwords, fill, error):
+    data = fill[: 4 * ndwords]
+    pkt = make_read_response(data, srctag=srctag, error=error)
+    out = Packet.decode(pkt.encode())
+    assert (out.srctag, out.data, out.error) == (srctag, data, error)
+
+
+@given(data=st.binary(min_size=12, max_size=96))
+@settings(max_examples=200)
+def test_decode_never_crashes_on_garbage(data):
+    """Arbitrary bytes either decode to a packet or raise PacketError."""
+    try:
+        Packet.decode(data)
+    except PacketError:
+        pass

@@ -1,0 +1,98 @@
+"""Tests for the response-matching table (SrcTag allocation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ht.tags import (
+    NUM_TAGS,
+    ResponseMatchingTable,
+    TagExhaustedError,
+    UnroutableResponseError,
+)
+
+
+def test_allocate_and_match_roundtrip():
+    table = ResponseMatchingTable()
+    tag = table.allocate(dest_nodeid=3, context="req-A")
+    assert table.peek_dest(tag) == 3
+    assert table.match(tag) == "req-A"
+    assert len(table) == 0
+
+
+def test_tags_are_unique_while_outstanding():
+    table = ResponseMatchingTable()
+    tags = [table.allocate(0) for _ in range(NUM_TAGS)]
+    assert len(set(tags)) == NUM_TAGS
+
+
+def test_exhaustion_raises():
+    table = ResponseMatchingTable()
+    for _ in range(NUM_TAGS):
+        table.allocate(0)
+    with pytest.raises(TagExhaustedError):
+        table.allocate(0)
+
+
+def test_free_then_reallocate():
+    table = ResponseMatchingTable()
+    tags = [table.allocate(0) for _ in range(NUM_TAGS)]
+    table.match(tags[7])
+    new_tag = table.allocate(1)
+    assert new_tag == tags[7]
+
+
+def test_match_unknown_tag_raises():
+    table = ResponseMatchingTable()
+    with pytest.raises(KeyError):
+        table.match(5)
+
+
+def test_unroutable_destination_rejected():
+    """The paper's writes-only property: tags bind to NodeIDs, so a
+    destination with no routable NodeID (a TCC link target) cannot get one."""
+    table = ResponseMatchingTable()
+    with pytest.raises(UnroutableResponseError):
+        table.allocate(dest_nodeid=None)
+    with pytest.raises(UnroutableResponseError):
+        table.allocate(dest_nodeid=-1)
+
+
+def test_outstanding_counting():
+    table = ResponseMatchingTable()
+    table.allocate(2)
+    table.allocate(2)
+    table.allocate(5)
+    assert table.outstanding_to(2) == 2
+    assert table.outstanding_to(5) == 1
+    assert table.outstanding_to(9) == 0
+
+
+def test_high_water_mark():
+    table = ResponseMatchingTable()
+    t1 = table.allocate(0)
+    t2 = table.allocate(0)
+    table.match(t1)
+    table.match(t2)
+    assert table.high_water == 2
+
+
+@given(ops=st.lists(st.sampled_from(["alloc", "free"]), max_size=200))
+@settings(max_examples=100)
+def test_table_never_leaks_or_duplicates(ops):
+    """Property: outstanding + free == 32 at all times; no tag is both."""
+    table = ResponseMatchingTable()
+    outstanding = []
+    for op in ops:
+        if op == "alloc":
+            if len(outstanding) == NUM_TAGS:
+                with pytest.raises(TagExhaustedError):
+                    table.allocate(0)
+            else:
+                outstanding.append(table.allocate(0))
+        elif outstanding:
+            tag = outstanding.pop(0)
+            table.match(tag)
+        assert len(table) == len(outstanding)
+        assert table.available == NUM_TAGS - len(outstanding)
+        assert len(set(outstanding)) == len(outstanding)

@@ -1,0 +1,173 @@
+"""Tests for the OS layer: page tables, driver policy, numactl binding."""
+
+import pytest
+
+from repro.core import TCClusterSystem
+from repro.kernel import DriverError, PageFault, PageTable
+from repro.opteron import MemoryType
+from repro.util.units import MiB
+
+
+@pytest.fixture(scope="module")
+def booted():
+    return TCClusterSystem.two_board_prototype().boot()
+
+
+# ---------------------------------------------------------------------------
+# Page table
+# ---------------------------------------------------------------------------
+
+def test_pagetable_map_lookup():
+    pt = PageTable()
+    m = pt.map(0x10000, 0x2000, MemoryType.WC, readable=False)
+    assert pt.lookup(0x10000) is m
+    assert pt.lookup(0x11FFF) is m
+    with pytest.raises(PageFault):
+        pt.lookup(0x12000)
+
+
+def test_pagetable_alignment_enforced():
+    pt = PageTable()
+    with pytest.raises(PageFault):
+        pt.map(0x10001, 0x1000, MemoryType.UC)
+    with pytest.raises(PageFault):
+        pt.map(0x10000, 0x800, MemoryType.UC)
+
+
+def test_pagetable_double_map_rejected():
+    pt = PageTable()
+    pt.map(0x10000, 0x1000, MemoryType.UC)
+    with pytest.raises(PageFault, match="already mapped"):
+        pt.map(0x10000, 0x1000, MemoryType.WC)
+
+
+def test_pagetable_unmap():
+    pt = PageTable()
+    m = pt.map(0x10000, 0x1000, MemoryType.UC)
+    pt.unmap(m)
+    with pytest.raises(PageFault):
+        pt.lookup(0x10000)
+    pt.map(0x10000, 0x1000, MemoryType.WB)  # reusable
+
+
+def test_pagetable_write_only_semantics():
+    """TCCluster remote windows: store ok, load faults."""
+    pt = PageTable()
+    pt.map(0x10000, 0x1000, MemoryType.WC, readable=False, writable=True)
+    pt.check_store(0x10080, 64)
+    with pytest.raises(PageFault, match="write-only"):
+        pt.check_load(0x10080, 8)
+
+
+def test_pagetable_access_spanning_mappings_faults():
+    pt = PageTable()
+    pt.map(0x10000, 0x1000, MemoryType.UC)
+    with pytest.raises(PageFault):
+        pt.lookup(0x10FF8, 16)  # crosses into unmapped space
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def test_driver_remote_window_is_write_only_wc(booted):
+    cl = booted.cluster
+    proc = cl.spawn_process(0, name="t")
+    drv = cl.kernels[0].driver_for(0)
+    peer_base = cl.ranks[2].base
+    m = drv.mmap_remote(proc.pagetable, peer_base, 1 * MiB)
+    assert m.mtype is MemoryType.WC
+    assert m.writable and not m.readable
+
+
+def test_driver_rejects_remote_map_of_local_range(booted):
+    cl = booted.cluster
+    proc = cl.spawn_process(0, name="t2")
+    drv = cl.kernels[0].driver_for(0)
+    with pytest.raises(DriverError, match="local"):
+        drv.mmap_remote(proc.pagetable, cl.ranks[0].base, 1 * MiB)
+
+
+def test_driver_rejects_out_of_space_window(booted):
+    cl = booted.cluster
+    proc = cl.spawn_process(0, name="t3")
+    drv = cl.kernels[0].driver_for(0)
+    with pytest.raises(DriverError, match="global"):
+        drv.mmap_remote(proc.pagetable, cl.amap.limit, 1 * MiB)
+
+
+def test_driver_local_export_is_uc_and_mtrr_programmed(booted):
+    cl = booted.cluster
+    info = cl.ranks[0]
+    proc = cl.spawn_process(0, name="t4")
+    drv = cl.kernels[0].driver_for(0)
+    base = info.base + 128 * MiB
+    m = drv.mmap_local_export(proc.pagetable, base, 64 * 1024)
+    assert m.mtype is MemoryType.UC
+    assert info.chip.mtrr.type_for(base) is MemoryType.UC
+
+
+def test_driver_export_policy(booted):
+    """Section IV.D: the driver restricts which local ranges remote nodes
+    may be given."""
+    cl = booted.cluster
+    info = cl.ranks[1]
+    proc = cl.spawn_process(1, name="t5")
+    drv = cl.kernels[info.supernode].driver_for(info.chip_index)
+    drv.restrict_export(info.base + 16 * MiB, info.base + 32 * MiB)
+    # inside the window: fine
+    drv.mmap_local_export(proc.pagetable, info.base + 16 * MiB, 4096)
+    # outside: denied
+    with pytest.raises(DriverError, match="denied"):
+        drv.mmap_local_export(proc.pagetable, info.base + 64 * MiB, 4096)
+
+
+# ---------------------------------------------------------------------------
+# Kernel
+# ---------------------------------------------------------------------------
+
+def test_custom_kernel_disables_smc(booted):
+    for kernel in booted.cluster.kernels:
+        assert kernel.smc_safe()
+        assert kernel.mode == "64-bit long"
+        assert kernel.booted
+
+
+def test_stock_kernel_would_leak_smc():
+    """A stock kernel leaves SMC broadcast generation on -- the unsafe
+    configuration the custom kernel exists to prevent."""
+    from repro.kernel import Kernel
+
+    sys_ = TCClusterSystem.two_board_prototype()
+    cl = sys_.cluster
+    # Boot firmware normally, then install a *stock* kernel on board 0.
+    fw_procs = [cl.sim.process(fw.boot()) for fw in cl.firmwares]
+    cl.sim.run_until_event(cl.sim.all_of(fw_procs))
+    stock = Kernel(cl.boards[0], fw_procs[0].value, custom=False)
+    kp = cl.sim.process(stock.boot(cl.amap.base, cl.amap.limit, {}))
+    cl.sim.run_until_event(kp)
+    assert not stock.smc_safe()
+    assert cl.boards[0].chips[0].send_interrupt(0x20, smc=True)
+
+
+def test_numactl_binding(booted):
+    cl = booted.cluster
+    proc = cl.spawn_process(cl.rank_of(0, 1), name="bind-test")
+    assert proc.socket == 1
+    proc.bind_to(0)
+    assert proc.socket == 0
+    assert proc.core is cl.boards[0].chips[0].cores[0]
+
+
+def test_spawn_before_boot_rejected():
+    from repro.kernel import Kernel, KernelError
+    from repro.firmware import Board, TYAN_S2912E
+    from repro.firmware.boot import BootReport
+    from repro.firmware.enumeration import EnumerationResult
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    board = Board(sim, "b", layout=TYAN_S2912E, memory_bytes=256 * MiB)
+    k = Kernel(board, BootReport(board, EnumerationResult()))
+    with pytest.raises(KernelError):
+        k.spawn("p")

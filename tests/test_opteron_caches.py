@@ -1,0 +1,92 @@
+"""Tests for the cache hierarchy, especially the no-snoop staleness."""
+
+from repro.opteron.caches import CacheHierarchy, CacheLevel
+from repro.util.units import CACHELINE
+
+
+def test_miss_then_hit():
+    c = CacheHierarchy()
+    line = 0x1000
+    data, _ = c.read_line(line)
+    assert data is None
+    c.fill_line(line, b"\xAB" * CACHELINE)
+    data, latency = c.read_line(line)
+    assert data == b"\xAB" * CACHELINE
+    assert latency > 0
+
+
+def test_l1_hit_faster_than_l3_only_hit():
+    c = CacheHierarchy()
+    c.fill_line(0x40, b"\x01" * CACHELINE)
+    _, lat_l1 = c.read_line(0x40)
+    # Evict from L1/L2 only: fill L1+L2 beyond capacity with other lines.
+    for i in range(1, (64 << 10) // CACHELINE + (512 << 10) // CACHELINE + 8):
+        c.l1.fill(0x40 + i * CACHELINE, b"\x00" * CACHELINE)
+        c.l2.fill(0x40 + i * CACHELINE, b"\x00" * CACHELINE)
+    assert 0x40 not in c.l1 and 0x40 not in c.l2
+    _, lat_l3 = c.read_line(0x40)
+    assert lat_l3 > lat_l1
+
+
+def test_outer_hit_promotes_to_l1():
+    c = CacheHierarchy()
+    c.l3.fill(0x80, b"\x07" * CACHELINE)
+    c.read_line(0x80)
+    assert 0x80 in c.l1
+
+
+def test_write_updates_present_copies():
+    c = CacheHierarchy()
+    c.fill_line(0x100, b"\x00" * CACHELINE)
+    assert c.write_line_if_present(0x100, 8, b"\xFF" * 8)
+    data, _ = c.read_line(0x100)
+    assert data[8:16] == b"\xFF" * 8
+    assert data[:8] == b"\x00" * 8
+
+
+def test_write_to_absent_line_reports_miss():
+    c = CacheHierarchy()
+    assert not c.write_line_if_present(0x200, 0, b"\x01" * 8)
+
+
+def test_invalidate_removes_all_levels():
+    c = CacheHierarchy()
+    c.fill_line(0x300, b"\x11" * CACHELINE)
+    assert c.invalidate_line(0x300)
+    data, _ = c.read_line(0x300)
+    assert data is None
+    assert not c.invalidate_line(0x300)
+
+
+def test_staleness_no_snoop_semantics():
+    """Core behaviour for TCCluster: a fill is a *copy*; later DRAM changes
+    (remote posted writes) do not appear until the line is invalidated.
+    This is why receive rings must be mapped UC."""
+    c = CacheHierarchy()
+    dram = bytearray(b"\x00" * CACHELINE)
+    c.fill_line(0x400, bytes(dram))
+    dram[:8] = b"\xEE" * 8  # remote TCC write lands in DRAM only
+    cached, _ = c.read_line(0x400)
+    assert cached[:8] == b"\x00" * 8  # stale!
+    c.invalidate_line(0x400)
+    refetched, _ = c.read_line(0x400)
+    assert refetched is None  # must now go to DRAM and would see \xEE
+
+
+def test_lru_eviction_in_level():
+    lvl = CacheLevel("t", 2 * CACHELINE, 1.0)
+    lvl.fill(0x0, b"\x00" * CACHELINE)
+    lvl.fill(0x40, b"\x01" * CACHELINE)
+    lvl.lookup(0x0)  # touch: 0x40 becomes LRU
+    evicted = lvl.fill(0x80, b"\x02" * CACHELINE)
+    assert evicted is not None and evicted[0] == 0x40
+    assert 0x0 in lvl and 0x80 in lvl
+
+
+def test_hit_miss_counters():
+    c = CacheHierarchy()
+    c.read_line(0x0)
+    c.fill_line(0x0, b"\x00" * CACHELINE)
+    c.read_line(0x0)
+    assert c.l1.misses == 1
+    assert c.l1.hits == 1

@@ -1,0 +1,112 @@
+"""Chip-level tests: register side effects, resets, interrupts."""
+
+import pytest
+
+from repro.ht import LinkSide
+from repro.opteron import MemoryType, OpteronChip, wire_link
+from repro.opteron.registers import RESET_NODEID
+from repro.sim import Simulator
+from repro.util.units import MiB
+
+
+def make_pair():
+    sim = Simulator()
+    a = OpteronChip(sim, "a", memory_bytes=256 * MiB)
+    b = OpteronChip(sim, "b", memory_bytes=256 * MiB)
+    link = wire_link(sim, a, 0, b, 0, name="l")
+    return sim, a, b, link
+
+
+def cold(sim, *chips):
+    evs = []
+    for c in chips:
+        for binding in c.ports.values():
+            ev = binding.fsm.assert_reset(binding.side, "cold")
+            ev.add_callback(c._make_status_updater(binding))
+            evs.append(ev)
+    sim.run_until_event(sim.all_of(evs))
+
+
+def test_warm_reset_via_register_write_hook():
+    """Writing the F0x6C warm-reset bit retrains the chip's links with
+    pending values -- the register-side-effect path firmware relies on."""
+    sim, a, b, link = make_pair()
+    cold(sim, a, b)
+    assert link.link_type == "coherent"
+    for chip in (a, b):
+        chip.link_control(0).force_noncoherent = True
+        chip.link_freq(0).width_bits = 16
+        chip.link_freq(0).gbit_per_lane = 1.6
+    # Both chips request the warm reset through the register.
+    from repro.opteron.registers import HtInitControlAccessor
+
+    HtInitControlAccessor(a.regs).request_warm_reset()
+    HtInitControlAccessor(b.regs).request_warm_reset()
+    sim.run()
+    assert link.link_type == "noncoherent"
+    assert link.width_bits == 16
+    # The self-clearing bit reads back zero.
+    assert not HtInitControlAccessor(a.regs).warm_reset_pending
+
+
+def test_status_updater_reflects_training():
+    sim, a, b, link = make_pair()
+    cold(sim, a, b)
+    assert a.link_control(0).coherent
+    assert b.link_control(0).coherent
+
+
+def test_cold_reset_clears_chip_state():
+    sim, a, b, link = make_pair()
+    cold(sim, a, b)
+    a.node_id_reg().nodeid = 3
+    a.mtrr.add(0, 1 << 24, MemoryType.UC)
+    a.caches.fill_line(0x40, b"\x01" * 64)
+    # A full power cycle: the chip-level cold_reset wipes registers,
+    # MTRRs and caches (the FSM-only helper above does not).
+    a.cold_reset()
+    b.cold_reset()
+    sim.run()
+    assert a.nodeid == RESET_NODEID
+    assert len(a.mtrr.ranges) == 0
+    data, _ = a.caches.read_line(0x40)
+    assert data is None
+
+
+def test_double_attach_rejected():
+    sim, a, b, link = make_pair()
+    c = OpteronChip(sim, "c", memory_bytes=256 * MiB)
+    with pytest.raises(ValueError, match="already attached"):
+        wire_link(sim, a, 0, c, 0)
+
+
+def test_port_range_validated():
+    sim = Simulator()
+    a = OpteronChip(sim, "a", memory_bytes=256 * MiB)
+    b = OpteronChip(sim, "b", memory_bytes=256 * MiB)
+    with pytest.raises(ValueError, match="out of range"):
+        wire_link(sim, a, 4, b, 0)
+
+
+def test_config_space_roundtrip():
+    sim = Simulator()
+    chip = OpteronChip(sim, "x", memory_bytes=256 * MiB)
+    chip.config_write(1, 0x40, 0xDEAD)
+    assert chip.config_read(1, 0x40) == 0xDEAD
+
+
+def test_interrupt_records_vector_and_smc_flag():
+    sim = Simulator()
+    chip = OpteronChip(sim, "x", memory_bytes=256 * MiB)
+    chip.send_interrupt(vector=0x42, smc=False)
+    chip.send_interrupt(vector=0x10, smc=True)
+    sim.run()
+    assert [(i.vector, i.smc) for i in chip.interrupts] == [
+        (0x42, False), (0x10, True)
+    ]
+
+
+def test_link_attached_registry():
+    sim, a, b, link = make_pair()
+    assert link.attached[LinkSide.A] is a
+    assert link.attached[LinkSide.B] is b

@@ -1,0 +1,84 @@
+"""Tests for MTRRs and memory-type resolution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opteron.mtrr import MTRR, MTRRError, MTRRSet, MemoryType
+
+
+def test_default_type_applies_without_ranges():
+    m = MTRRSet(default=MemoryType.WB)
+    assert m.type_for(0x1234) is MemoryType.WB
+
+
+def test_range_overrides_default():
+    m = MTRRSet()
+    m.add(0x1000_0000, 0x1000_0000, MemoryType.WC)
+    assert m.type_for(0x1800_0000) is MemoryType.WC
+    assert m.type_for(0x2000_0000) is MemoryType.WB  # one past the limit
+    assert m.type_for(0x0FFF_FFFF) is MemoryType.WB
+
+
+def test_size_must_be_power_of_two():
+    with pytest.raises(MTRRError):
+        MTRR(0, 0x3000, MemoryType.UC)
+
+
+def test_base_must_be_size_aligned():
+    with pytest.raises(MTRRError):
+        MTRR(0x1000, 0x2000, MemoryType.UC)
+
+
+def test_overlap_precedence_uc_wins():
+    """x86 rule: UC beats WC beats WB when ranges overlap."""
+    m = MTRRSet()
+    m.add(0x0, 1 << 28, MemoryType.WC)
+    m.add(0x0, 1 << 24, MemoryType.UC)
+    assert m.type_for(0x100) is MemoryType.UC
+    assert m.type_for(1 << 25) is MemoryType.WC
+
+
+def test_range_type_mixed_takes_most_restrictive():
+    m = MTRRSet()
+    m.add(0x0, 1 << 24, MemoryType.UC)
+    # An access straddling the UC/WB boundary is effectively UC.
+    assert m.type_for_range((1 << 24) - 8, 16) is MemoryType.UC
+    assert m.type_for_range(1 << 24, 16) is MemoryType.WB
+
+
+def test_only_eight_variable_mtrrs():
+    m = MTRRSet()
+    for i in range(8):
+        m.add(i << 30, 1 << 30, MemoryType.UC)
+    with pytest.raises(MTRRError):
+        m.add(8 << 30, 1 << 30, MemoryType.UC)
+
+
+def test_clear_releases_registers():
+    m = MTRRSet()
+    m.add(0, 1 << 24, MemoryType.UC)
+    m.clear()
+    assert m.type_for(0) is MemoryType.WB
+    assert len(m.ranges) == 0
+
+
+def test_cacheability_flags():
+    assert MemoryType.WB.cacheable
+    assert not MemoryType.UC.cacheable
+    assert not MemoryType.WC.cacheable
+    assert MemoryType.WC.combines_writes
+    assert not MemoryType.UC.combines_writes
+
+
+@given(
+    exp=st.integers(min_value=12, max_value=32),
+    base_mult=st.integers(min_value=0, max_value=15),
+    probe=st.integers(min_value=0, max_value=(1 << 37) - 1),
+)
+@settings(max_examples=200)
+def test_covers_matches_interval_arithmetic(exp, base_mult, probe):
+    size = 1 << exp
+    base = base_mult * size
+    r = MTRR(base, size, MemoryType.WC)
+    assert r.covers(probe) == (base <= probe < base + size)

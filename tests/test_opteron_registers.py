@@ -1,0 +1,177 @@
+"""Tests for the BKDG-style register file and accessors."""
+
+import pytest
+
+from repro.opteron.registers import (
+    GRANULARITY,
+    RESET_NODEID,
+    DramConfigAccessor,
+    DramPairAccessor,
+    Function,
+    HtInitControlAccessor,
+    LinkControlAccessor,
+    LinkFreqAccessor,
+    MiscControlAccessor,
+    MmioPairAccessor,
+    NodeIDAccessor,
+    RegisterFile,
+    RoutingTableAccessor,
+)
+
+M16 = GRANULARITY
+
+
+def test_nodeid_resets_to_seven():
+    """Paper Section IV.E: unvisited APs read NodeID 7."""
+    regs = RegisterFile()
+    assert NodeIDAccessor(regs).nodeid == RESET_NODEID
+
+
+def test_nodeid_write_read():
+    regs = RegisterFile()
+    acc = NodeIDAccessor(regs)
+    acc.nodeid = 3
+    acc.nodecnt = 5
+    assert acc.nodeid == 3 and acc.nodecnt == 5
+    with pytest.raises(ValueError):
+        acc.nodeid = 8
+
+
+def test_routing_table_defaults_to_self():
+    regs = RegisterFile()
+    for i in range(8):
+        acc = RoutingTableAccessor(regs, i)
+        assert acc.request == 0b00001
+        assert acc.response == 0b00001
+        assert acc.broadcast == 0b00001
+
+
+def test_routing_table_link_masks():
+    regs = RegisterFile()
+    acc = RoutingTableAccessor(regs, 2)
+    acc.request = RoutingTableAccessor.to_link(1)
+    acc.response = RoutingTableAccessor.to_link(3)
+    assert acc.request == 0b00100
+    assert acc.response == 0b10000
+    assert acc.broadcast == 0b00001  # untouched
+
+
+def test_link_control_force_noncoherent_bit():
+    regs = RegisterFile()
+    ctl = LinkControlAccessor(regs, 2)
+    assert ctl.enabled            # reset default
+    assert not ctl.force_noncoherent
+    ctl.force_noncoherent = True
+    assert ctl.force_noncoherent
+    assert LinkControlAccessor(regs, 1).force_noncoherent is False
+
+
+def test_link_freq_accessor():
+    regs = RegisterFile()
+    f = LinkFreqAccessor(regs, 0)
+    f.width_bits = 16
+    f.gbit_per_lane = 1.6
+    assert f.width_bits == 16
+    assert f.gbit_per_lane == pytest.approx(1.6)
+
+
+def test_dram_pair_program_and_decode():
+    regs = RegisterFile()
+    pair = DramPairAccessor(regs, 0)
+    pair.program(base=0, limit=16 * M16, dst_node=0)
+    assert pair.enabled
+    assert pair.base == 0
+    assert pair.limit == 16 * M16
+    assert pair.dst_node == 0
+
+
+def test_dram_pair_alignment_enforced():
+    regs = RegisterFile()
+    with pytest.raises(ValueError, match="granularity"):
+        DramPairAccessor(regs, 0).program(base=0x1000, limit=M16, dst_node=0)
+
+
+def test_dram_pair_empty_range_rejected():
+    regs = RegisterFile()
+    with pytest.raises(ValueError, match="empty"):
+        DramPairAccessor(regs, 0).program(base=M16, limit=M16, dst_node=0)
+
+
+def test_dram_pair_disable():
+    regs = RegisterFile()
+    pair = DramPairAccessor(regs, 1)
+    pair.program(base=M16, limit=2 * M16, dst_node=1)
+    pair.disable()
+    assert not pair.enabled
+
+
+def test_mmio_pair_carries_dstlink_and_np():
+    regs = RegisterFile()
+    pair = MmioPairAccessor(regs, 0)
+    pair.program(base=16 * M16, limit=32 * M16, dst_node=0, dst_link=2,
+                 nonposted=False)
+    assert pair.enabled
+    assert pair.dst_link == 2
+    assert pair.dst_node == 0
+    assert not pair.nonposted_allowed
+    assert pair.base == 16 * M16
+    assert pair.limit == 32 * M16
+
+
+def test_warm_reset_request_bit():
+    regs = RegisterFile()
+    init = HtInitControlAccessor(regs)
+    assert not init.warm_reset_pending
+    init.request_warm_reset()
+    assert init.warm_reset_pending
+    init.clear_warm_reset()
+    assert not init.warm_reset_pending
+
+
+def test_dram_config():
+    regs = RegisterFile()
+    cfg = DramConfigAccessor(regs)
+    assert not cfg.initialized
+    cfg.program(512 * M16)
+    assert cfg.initialized
+    assert cfg.size == 512 * M16
+    with pytest.raises(ValueError):
+        cfg.program(M16 + 5)
+
+
+def test_smc_enabled_by_default_and_disable():
+    regs = RegisterFile()
+    misc = MiscControlAccessor(regs)
+    assert misc.smc_enabled  # reset default
+    misc.smc_enabled = False
+    assert not misc.smc_enabled
+    misc.smc_enabled = True
+    assert misc.smc_enabled
+
+
+def test_write_hooks_fire():
+    regs = RegisterFile()
+    seen = []
+    regs.add_write_hook(lambda f, o, v: seen.append((f, o, v)))
+    regs.write(Function.ADDRESS_MAP, 0x40, 0x123)
+    assert seen == [(Function.ADDRESS_MAP, 0x40, 0x123)]
+
+
+def test_cold_reset_restores_defaults():
+    regs = RegisterFile()
+    NodeIDAccessor(regs).nodeid = 0
+    regs.reset(cold=True)
+    assert NodeIDAccessor(regs).nodeid == RESET_NODEID
+
+
+def test_warm_reset_preserves_registers():
+    regs = RegisterFile()
+    NodeIDAccessor(regs).nodeid = 2
+    regs.reset(cold=False)
+    assert NodeIDAccessor(regs).nodeid == 2
+
+
+def test_value_must_fit_32_bits():
+    regs = RegisterFile()
+    with pytest.raises(ValueError):
+        regs.write(0, 0x40, 1 << 32)

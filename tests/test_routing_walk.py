@@ -1,0 +1,117 @@
+"""Global interval-routing correctness: walk every packet path.
+
+For every (source node, destination address) pair in a topology, walk the
+hop sequence the address maps imply: at each node the address either
+falls in a DRAM directive (arrival) or an MMIO directive (exit through a
+specific port to a specific neighbour).  The walk must terminate at the
+*owning* supernode within the topology's diameter, for every source --
+the property paper Section IV.C/D's design depends on.
+
+This is a pure check over the planned register contents (no DES), so it
+covers far more pairs than end-to-end message tests can.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    TccEdge,
+    chain,
+    mesh2d,
+    ring,
+    uniform_cluster,
+)
+from repro.util.units import MiB
+
+M = 16 * MiB  # minimal granularity keeps walks cheap
+
+
+def walk(amap, src_supernode: int, addr: int, max_hops: int = 64):
+    """Follow the address maps; returns (arrival_supernode, hops)."""
+    topo = amap.topology
+    s = src_supernode
+    node = 0
+    hops = 0
+    while True:
+        plan = amap.plan_for(s, node)
+        for d in plan.dram:
+            if d.base <= addr < d.limit:
+                return s, hops
+        exit_ = None
+        for m in plan.mmio:
+            if m.base <= addr < m.limit:
+                exit_ = m
+                break
+        assert exit_ is not None, (
+            f"address {addr:#x} unmapped at supernode {s} node {node}"
+        )
+        # Find the edge leaving (s, exit_node, exit_port).
+        edge = None
+        for e in topo.edges:
+            for ep in (e.a, e.b):
+                if (ep.supernode, ep.node, ep.port) == (
+                    s, exit_.exit_node, exit_.exit_port
+                ):
+                    edge = e
+                    break
+            if edge:
+                break
+        assert edge is not None, "MMIO directive points at a missing link"
+        other = edge.other(s)
+        s, node = other.supernode, other.node
+        hops += 1
+        assert hops <= max_hops, "routing loop detected"
+
+
+@pytest.mark.parametrize("topo_factory", [
+    lambda: chain(5),
+    lambda: ring(5),
+    lambda: ring(8),
+    lambda: mesh2d(3, 3),
+    lambda: mesh2d(4, 4),
+    lambda: mesh2d(2, 5),
+])
+def test_every_pair_routes_to_owner(topo_factory):
+    topo = topo_factory()
+    amap = uniform_cluster(topo, M)
+    n = topo.num_supernodes
+    for src in range(n):
+        for dst in range(n):
+            base, limit = amap.supernode_ranges[dst]
+            for probe in (base, base + (limit - base) // 2, limit - 64):
+                arrived, hops = walk(amap, src, probe)
+                assert arrived == dst
+                if src == dst:
+                    assert hops == 0
+                else:
+                    assert hops == topo.hop_distance(src, dst) or hops >= 1
+
+
+def test_mesh_walk_hops_match_dimension_order():
+    """On the mesh, YX dimension-ordered routing gives exactly
+    |dr| + |dc| hops for every pair."""
+    topo = mesh2d(4, 4)
+    amap = uniform_cluster(topo, M)
+    for src in range(16):
+        for dst in range(16):
+            r0, c0 = divmod(src, 4)
+            r1, c1 = divmod(dst, 4)
+            base, _ = amap.supernode_ranges[dst]
+            _, hops = walk(amap, src, base)
+            assert hops == abs(r0 - r1) + abs(c0 - c1)
+
+
+@given(rows=st.integers(2, 5), cols=st.integers(2, 5),
+       src=st.integers(0, 24), probe_frac=st.floats(0, 0.999))
+@settings(max_examples=60, deadline=None)
+def test_random_probe_addresses_route_home(rows, cols, src, probe_frac):
+    topo = mesh2d(rows, cols)
+    n = rows * cols
+    src %= n
+    amap = uniform_cluster(topo, M)
+    addr = int(probe_frac * amap.limit) & ~0x3F
+    owner = amap.supernode_of_addr(addr)
+    arrived, hops = walk(amap, src, addr)
+    assert arrived == owner
+    assert hops <= rows + cols

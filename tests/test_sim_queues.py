@@ -1,0 +1,272 @@
+"""Unit tests for Store, Resource, CreditPool and Gate."""
+
+import pytest
+
+from repro.sim import CreditPool, Gate, Resource, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_fifo_order():
+    sim = Simulator()
+    st = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield st.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer():
+        for _ in range(5):
+            item = yield st.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_producer():
+    sim = Simulator()
+    st = Store(sim, capacity=2)
+    times = []
+
+    def producer():
+        for i in range(4):
+            yield st.put(i)
+            times.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(10.0)
+        for _ in range(4):
+            yield st.get()
+            yield sim.timeout(10.0)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    # First two puts accepted at t=0, the rest as space frees at t=10, 20.
+    assert times == [0.0, 0.0, 10.0, 20.0]
+
+
+def test_store_try_put_respects_capacity():
+    sim = Simulator()
+    st = Store(sim, capacity=1)
+    assert st.try_put("x")
+    assert not st.try_put("y")
+    ok, item = st.try_get()
+    assert ok and item == "x"
+    ok, item = st.try_get()
+    assert not ok and item is None
+
+
+def test_store_get_blocks_until_item():
+    sim = Simulator()
+    st = Store(sim)
+    arrival = []
+
+    def consumer():
+        item = yield st.get()
+        arrival.append((sim.now, item))
+
+    sim.process(consumer())
+    sim.schedule(5.0, st.try_put, "late")
+    sim.run()
+    assert arrival == [(5.0, "late")]
+
+
+def test_store_peek():
+    sim = Simulator()
+    st = Store(sim)
+    st.try_put(1)
+    assert st.peek() == 1
+    assert len(st) == 1
+    st.try_get()
+    with pytest.raises(SimulationError):
+        st.peek()
+
+
+def test_store_zero_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_multiple_getters_fcfs():
+    sim = Simulator()
+    st = Store(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield st.get()
+        got.append((tag, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    sim.schedule(1.0, st.try_put, "a")
+    sim.schedule(2.0, st.try_put, "b")
+    sim.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    log = []
+
+    def worker(tag, hold):
+        yield res.acquire()
+        log.append((tag, "in", sim.now))
+        yield sim.timeout(hold)
+        log.append((tag, "out", sim.now))
+        res.release()
+
+    sim.process(worker("a", 5.0))
+    sim.process(worker("b", 3.0))
+    sim.run()
+    assert log == [
+        ("a", "in", 0.0),
+        ("a", "out", 5.0),
+        ("b", "in", 5.0),
+        ("b", "out", 8.0),
+    ]
+
+
+def test_resource_counting_capacity():
+    sim = Simulator()
+    res = Resource(sim, 2)
+    entered = []
+
+    def worker(tag):
+        yield res.acquire()
+        entered.append((tag, sim.now))
+        yield sim.timeout(10.0)
+        res.release()
+
+    for tag in ("a", "b", "c"):
+        sim.process(worker(tag))
+    sim.run()
+    assert entered == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+
+def test_resource_release_when_idle_raises():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_available_accounting():
+    sim = Simulator()
+    res = Resource(sim, 3)
+    assert res.available == 3
+    res.acquire()
+    sim.run()
+    assert res.available == 2
+    assert res.in_use == 1
+
+
+# ---------------------------------------------------------------------------
+# CreditPool
+# ---------------------------------------------------------------------------
+
+def test_credit_take_give_cycle():
+    sim = Simulator()
+    pool = CreditPool(sim, 2)
+    acquired = []
+
+    def taker(tag):
+        yield pool.take()
+        acquired.append((tag, sim.now))
+
+    sim.process(taker("a"))
+    sim.process(taker("b"))
+    sim.process(taker("c"))
+    sim.schedule(7.0, pool.give)
+    sim.run()
+    assert acquired == [("a", 0.0), ("b", 0.0), ("c", 7.0)]
+    assert pool.credits == 0
+
+
+def test_credit_overflow_detected():
+    sim = Simulator()
+    pool = CreditPool(sim, 1)
+    with pytest.raises(SimulationError):
+        pool.give()
+
+
+def test_credit_request_larger_than_pool_deadlock_guard():
+    sim = Simulator()
+    pool = CreditPool(sim, 4)
+    with pytest.raises(SimulationError):
+        pool.take(5)
+
+
+def test_credit_try_take():
+    sim = Simulator()
+    pool = CreditPool(sim, 1)
+    assert pool.try_take()
+    assert not pool.try_take()
+    pool.give()
+    assert pool.try_take()
+
+
+def test_credit_multi_amount():
+    sim = Simulator()
+    pool = CreditPool(sim, 4)
+    order = []
+
+    def taker(tag, amount):
+        yield pool.take(amount)
+        order.append((tag, sim.now))
+
+    sim.process(taker("big", 4))
+    sim.process(taker("small", 1))
+    sim.schedule(3.0, pool.give, 4)
+    sim.run()
+    # FCFS: big waits for all 4, small cannot jump the queue.
+    assert order == [("big", 0.0), ("small", 3.0)]
+
+
+# ---------------------------------------------------------------------------
+# Gate
+# ---------------------------------------------------------------------------
+
+def test_gate_blocks_until_open():
+    sim = Simulator()
+    gate = Gate(sim)
+    passed = []
+
+    def waiter(tag):
+        yield gate.wait()
+        passed.append((tag, sim.now))
+
+    sim.process(waiter("x"))
+    sim.process(waiter("y"))
+    sim.schedule(4.0, gate.open)
+    sim.run()
+    assert passed == [("x", 4.0), ("y", 4.0)]
+
+
+def test_gate_open_passthrough_and_reclose():
+    sim = Simulator()
+    gate = Gate(sim, open_=True)
+    passed = []
+
+    def waiter():
+        yield gate.wait()
+        passed.append(sim.now)
+
+    sim.process(waiter())
+    sim.run()
+    assert passed == [0.0]
+    gate.close()
+    assert not gate.is_open
