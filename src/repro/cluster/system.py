@@ -31,6 +31,8 @@ from ..firmware import (
 )
 from ..kernel import Kernel, UserProcess
 from ..msglib import MessageLibrary, MsgConfig
+from ..obs.metrics import MetricsRegistry, metrics_for
+from ..obs.report import format_report
 from ..opteron import OpteronChip, wire_link
 from ..sim import Barrier, Simulator
 from ..topology import ClusterTopology, GlobalAddressMap, NodeSpec, SupernodeSpec, assign_addresses
@@ -220,3 +222,74 @@ class TCCluster:
 
     def run(self, *args, **kwargs):
         return self.sim.run(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        return metrics_for(self.sim)
+
+    def enable_metrics(self) -> MetricsRegistry:
+        """Turn on metrics collection for everything in this simulator.
+
+        Cheap per-link/per-endpoint counters (packets, bytes, busy time,
+        stalls) are always maintained; enabling adds the registry-backed
+        series -- latency histograms, occupancy accumulators -- that cost
+        a little per event."""
+        reg = self.registry
+        reg.enabled = True
+        return reg
+
+    def _all_links(self):
+        """Every Link in the cluster (TCC cables + board-internal
+        coherent links), deduplicated, in a stable order."""
+        seen = {}
+        for board in self.boards:
+            for chip in board.chips:
+                for binding in chip.ports.values():
+                    link = binding.link
+                    if id(link) not in seen:
+                        seen[id(link)] = link
+        return sorted(seen.values(), key=lambda l: l.name)
+
+    def metrics(self) -> Dict:
+        """One JSON-ready snapshot of the whole cluster.
+
+        Always includes per-link counters/utilization, per-endpoint
+        message counts and northbridge/write-combining counters; the
+        latency histogram and occupancy averages carry data only for the
+        portion of the run executed after :meth:`enable_metrics`."""
+        now = self.sim.now
+        reg = self.registry
+        endpoints: Dict[str, Dict] = {}
+        for lib in self._libs.values():
+            endpoints.update(lib.metrics())
+        wc: Dict[str, Dict[str, int]] = {}
+        nb: Dict[str, Dict[str, int]] = {}
+        for board in self.boards:
+            for chip in board.chips:
+                nb[chip.name] = chip.nb.counters.as_dict()
+                wc[chip.name] = {
+                    "fills": sum(c.wc.fills for c in chip.cores),
+                    "full_flushes": sum(c.wc.full_flushes for c in chip.cores),
+                    "partial_flushes": sum(c.wc.partial_flushes
+                                           for c in chip.cores),
+                    "evictions": sum(c.wc.evictions for c in chip.cores),
+                }
+        latency = reg.histograms.get("msglib.message_latency_ns")
+        return {
+            "time_ns": now,
+            "links": {l.name: l.metrics(now) for l in self._all_links()},
+            "tcc_links": [l.name for l in self.tcc_links],
+            "endpoints": endpoints,
+            "northbridges": nb,
+            "write_combining": wc,
+            "message_latency_ns": (latency.to_dict() if latency is not None
+                                   else {"count": 0}),
+            "registry": reg.snapshot(now),
+        }
+
+    def metrics_report(self, fmt: str = "text") -> str:
+        """Human-readable (or JSON) rendition of :meth:`metrics`."""
+        return format_report(self.metrics(), fmt=fmt)

@@ -115,6 +115,20 @@ class TCClusterSystem:
     def barrier(self, rank: int) -> ClusterBarrier:
         return ClusterBarrier(self.library(rank))
 
+    # -- observability ------------------------------------------------------------
+    def enable_metrics(self):
+        """Turn on the metrics registry (latency histograms, occupancy);
+        see :meth:`repro.cluster.system.TCCluster.enable_metrics`."""
+        return self.cluster.enable_metrics()
+
+    def metrics(self) -> dict:
+        """Whole-cluster snapshot: per-link utilization, per-endpoint
+        message counts, end-to-end latency histogram, NB/WC counters."""
+        return self.cluster.metrics()
+
+    def metrics_report(self, fmt: str = "text") -> str:
+        return self.cluster.metrics_report(fmt=fmt)
+
     # -- execution ----------------------------------------------------------------
     def process(self, fn: Callable, *args, name: str = "") -> Process:
         """Start ``fn(*args)`` (a generator function) as a simulation

@@ -62,11 +62,31 @@ class LinkStats:
     packets: int = 0
     payload_bytes: int = 0
     wire_bytes: int = 0
+    #: Extra wire bytes burnt by HT3 retransmissions (kept separate so
+    #: goodput and busy-time accounting stay consistent under BER).
+    retry_wire_bytes: int = 0
     retries: int = 0
+    drops: int = 0
     busy_ns: float = 0.0
+    #: Time packets sat at the head of a TX queue waiting for a
+    #: flow-control credit (receiver back-pressure).
+    credit_stall_ns: float = 0.0
 
     def utilization(self, elapsed_ns: float) -> float:
         return self.busy_ns / elapsed_ns if elapsed_ns > 0 else 0.0
+
+    def as_dict(self, elapsed_ns: float) -> Dict[str, float]:
+        return {
+            "packets": self.packets,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "retry_wire_bytes": self.retry_wire_bytes,
+            "retries": self.retries,
+            "drops": self.drops,
+            "busy_ns": self.busy_ns,
+            "credit_stall_ns": self.credit_stall_ns,
+            "utilization": self.utilization(elapsed_ns),
+        }
 
 
 class _Direction:
@@ -107,7 +127,10 @@ class _Direction:
         credits = self.credits[vc]
         while True:
             pkt = yield txq.get()
+            wait_start = sim.now
             yield credits.take()
+            if sim.now > wait_start:
+                self.stats.credit_stall_ns += sim.now - wait_start
             yield self.phy.acquire()
             try:
                 if link.state != LinkState.ACTIVE:
@@ -122,8 +145,12 @@ class _Direction:
                     yield sim.timeout(ser + link.retry_turnaround_ns)
                     self.stats.retries += 1
                     self.stats.busy_ns += ser + link.retry_turnaround_ns
+                    self.stats.retry_wire_bytes += pkt.wire_bytes(
+                        link.timing.ht_crc_bytes
+                    )
                     attempts += 1
                     if attempts > link.max_retries:
+                        self.stats.drops += 1
                         raise LinkDownError(
                             f"link {link.name}: packet dropped after "
                             f"{link.max_retries} retries"
@@ -241,6 +268,19 @@ class Link:
     def stats(self, side: str) -> LinkStats:
         """Transmit statistics for the direction sending *from* ``side``."""
         return self._dirs[side].stats
+
+    def metrics(self, now: Optional[float] = None) -> Dict[str, Dict[str, float]]:
+        """Per-direction counters + utilization, keyed by TX side.
+
+        ``now`` defaults to the simulator clock; utilization is busy time
+        over the full elapsed simulation time (links exist from t=0)."""
+        elapsed = self.sim.now if now is None else now
+        out: Dict[str, Dict[str, float]] = {}
+        for side, d in self._dirs.items():
+            m = d.stats.as_dict(elapsed)
+            m["rx_pending"] = len(d.rx)
+            out[side] = m
+        return out
 
     # -- lifecycle ----------------------------------------------------------------
     def activate(self, link_type: str) -> None:

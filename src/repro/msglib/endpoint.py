@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from ..obs.metrics import metrics_for
 from ..util.units import CACHELINE
 from .config import RENDEZVOUS_MARKER, SLOT_BYTES, SLOT_PAYLOAD
 from .slots import (
@@ -59,8 +60,13 @@ class EndpointStats:
         self.eager_sent = 0
         self.rendezvous_sent = 0
         self.tx_stalls = 0
+        self.tx_stall_ns = 0.0
+        self.max_inflight_slots = 0
         self.polls = 0
         self.feedback_writes = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
 
 
 class Endpoint:
@@ -98,6 +104,21 @@ class Endpoint:
         self.fb_sent_slots = 0
         self.fb_sent_heap = 0
         self.stats = EndpointStats()
+        self._m = metrics_for(self.sim)
+
+    # -- instrumentation ------------------------------------------------
+    @property
+    def inflight_slots(self) -> int:
+        """Ring slots pushed to the peer but not yet acknowledged."""
+        return self.send_seq - self.acked_slots
+
+    def _note_occupancy(self) -> None:
+        inflight = self.send_seq - self.acked_slots
+        if inflight > self.stats.max_inflight_slots:
+            self.stats.max_inflight_slots = inflight
+        if self._m.enabled:
+            self._m.track(f"msglib.r{self.me}->r{self.peer}.ring_occupancy",
+                          self.sim.now, inflight)
 
     # ------------------------------------------------------------------
     # Send
@@ -109,6 +130,10 @@ class Endpoint:
             raise MessageError("empty message")
         if mode not in ("weak", "strict"):
             raise MessageError(f"unknown ordering mode {mode!r}")
+        if self._m.enabled:
+            # End-to-end latency clock starts before the library overhead,
+            # matching what an application-level timer would see.
+            self._m.note_send(self.me, self.peer, self.sim.now)
         yield self.sim.timeout(self.proc.core.chip.timing.send_overhead_ns)
         if len(data) <= self.cfg.eager_max:
             yield from self._send_eager(data, mode)
@@ -134,6 +159,7 @@ class Endpoint:
             if mode == "strict":
                 yield from self.proc.sfence()
             self.send_seq = seq
+            self._note_occupancy()
             pos += len(chunk)
             remaining -= len(chunk)
 
@@ -171,6 +197,7 @@ class Endpoint:
         if mode == "strict":
             yield from self.proc.sfence()
         self.send_seq = seq
+        self._note_occupancy()
 
     def flush(self):
         """Drain write-combining buffers (finalize weakly-ordered sends)."""
@@ -181,20 +208,34 @@ class Endpoint:
         return self.cfg.nslots - (self.send_seq - self.acked_slots)
 
     def _wait_tx_slots(self, n: int):
+        if self._free_tx_slots() >= n:
+            return
+        stall_start = self.sim.now
         while self._free_tx_slots() < n:
             self.stats.tx_stalls += 1
             yield from self._refresh_ack()
             if self._free_tx_slots() >= n:
                 break
             yield self.sim.timeout(self.proc.core.chip.timing.poll_iteration_ns)
+        self.stats.tx_stall_ns += self.sim.now - stall_start
+        if self._m.enabled:
+            self._m.inc(f"msglib.r{self.me}->r{self.peer}.slot_stall_ns",
+                        self.sim.now - stall_start)
 
     def _wait_heap(self, need: int):
+        if self.heap_sent - self.heap_acked + need <= self.cfg.heap_bytes:
+            return
+        stall_start = self.sim.now
         while self.heap_sent - self.heap_acked + need > self.cfg.heap_bytes:
             self.stats.tx_stalls += 1
             yield from self._refresh_ack()
             if self.heap_sent - self.heap_acked + need <= self.cfg.heap_bytes:
                 break
             yield self.sim.timeout(self.proc.core.chip.timing.poll_iteration_ns)
+        self.stats.tx_stall_ns += self.sim.now - stall_start
+        if self._m.enabled:
+            self._m.inc(f"msglib.r{self.me}->r{self.peer}.heap_stall_ns",
+                        self.sim.now - stall_start)
 
     def _refresh_ack(self):
         raw = yield from self.proc.load(self.tx_fb_addr, 16)
@@ -204,6 +245,7 @@ class Endpoint:
             if slots > self.send_seq:
                 raise MessageError("peer acknowledged slots never sent")
             self.acked_slots = slots
+            self._note_occupancy()
         if heap > self.heap_acked:
             if heap > self.heap_sent:
                 raise MessageError("peer acknowledged heap bytes never sent")
@@ -236,6 +278,13 @@ class Endpoint:
         yield self.sim.timeout(t.recv_overhead_ns)
         self.stats.msgs_received += 1
         self.stats.bytes_received += len(data)
+        if self._m.enabled:
+            sent_at = self._m.pop_send(self.peer, self.me)
+            if sent_at is not None:
+                lat = self.sim.now - sent_at
+                self._m.observe("msglib.message_latency_ns", lat)
+                self._m.observe(
+                    f"msglib.r{self.peer}->r{self.me}.latency_ns", lat)
         return bytes(data)
 
     def try_recv(self):

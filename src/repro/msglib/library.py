@@ -12,6 +12,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..kernel.driver import TccDriver
 from ..kernel.linux import UserProcess
 from ..kernel.pagetable import PAGE_SIZE
+from ..obs.metrics import metrics_for
 from .config import MsgConfig, RegionLayout
 from .endpoint import Endpoint, MessageError
 
@@ -39,6 +40,7 @@ class MessageLibrary:
         self.cfg = cfg
         self.layout: RegionLayout = cfg.layout(len(rank_ranges))
         self._endpoints: Dict[int, Endpoint] = {}
+        self.registry = metrics_for(self.sim)
 
         my_base, my_limit = self.rank_ranges[rank]
         if my_base != driver.local_base:
@@ -108,3 +110,10 @@ class MessageLibrary:
 
     def endpoints(self) -> List[Endpoint]:
         return list(self._endpoints.values())
+
+    def metrics(self) -> Dict[str, Dict]:
+        """Per-endpoint counters, keyed ``"r<me>->r<peer>"``."""
+        return {
+            f"r{self.rank}->r{ep.peer}": ep.stats.as_dict()
+            for ep in self._endpoints.values()
+        }

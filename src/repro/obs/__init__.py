@@ -1,0 +1,45 @@
+"""Observability: metrics registry, trace export, goldens, reporting.
+
+The subsystem has four layers:
+
+* :mod:`repro.obs.metrics` -- the per-simulator :class:`MetricsRegistry`
+  (counters / gauges / log-bucketed histograms / time-weighted
+  accumulators), near-zero cost while disabled,
+* :mod:`repro.obs.export` -- JSONL export of traces and snapshots,
+* :mod:`repro.obs.golden` -- tolerance-based comparison of snapshots
+  against checked-in golden JSON files,
+* :mod:`repro.obs.report` -- text/JSON rendering of a cluster snapshot.
+
+:mod:`repro.obs.scenarios` (imported explicitly -- it drags in the full
+cluster stack) defines the canonical runs behind ``tests/golden/``, and
+``python -m repro.obs.regen_goldens`` rewrites those files.
+"""
+
+from .export import JsonlExporter, read_jsonl, trace_records_to_jsonl
+from .golden import (
+    GoldenMismatch,
+    assert_matches_golden,
+    compare_to_golden,
+    flatten,
+    load_golden,
+    save_golden,
+)
+from .metrics import LogHistogram, MetricsRegistry, enable_metrics, metrics_for
+from .report import format_report
+
+__all__ = [
+    "LogHistogram",
+    "MetricsRegistry",
+    "metrics_for",
+    "enable_metrics",
+    "JsonlExporter",
+    "trace_records_to_jsonl",
+    "read_jsonl",
+    "GoldenMismatch",
+    "flatten",
+    "compare_to_golden",
+    "assert_matches_golden",
+    "load_golden",
+    "save_golden",
+    "format_report",
+]

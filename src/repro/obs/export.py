@@ -1,0 +1,117 @@
+"""Structured JSONL export for traces and metrics snapshots.
+
+One record per line; every record carries a ``kind`` discriminator so a
+single file can interleave both streams:
+
+* ``{"kind": "trace", "t": <ns>, "component": str, "event": str,
+  "info": <json>}`` -- one :class:`~repro.sim.trace.TraceRecord`,
+* ``{"kind": "metrics", "t": <ns>, "snapshot": {...}}`` -- one registry
+  snapshot (see :meth:`MetricsRegistry.snapshot`),
+* ``{"kind": "meta", ...}`` -- free-form header (schema version, scenario
+  name), always written first by :class:`JsonlExporter`.
+
+The schema is documented in README.md ("Observability"); goldens reuse
+the same flattening rules via :mod:`repro.obs.golden`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+
+from ..sim.trace import TraceRecord, Tracer
+
+__all__ = ["JsonlExporter", "trace_records_to_jsonl", "read_jsonl"]
+
+SCHEMA_VERSION = 1
+
+
+def _jsonable(obj: Any) -> Any:
+    """Best-effort conversion of trace ``info`` payloads (tuples, bytes,
+    enums...) into JSON-encodable values."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, bytes):
+        return obj.hex()
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    return repr(obj)
+
+
+class JsonlExporter:
+    """Writes trace/metrics records to a JSONL file or file object."""
+
+    def __init__(self, target: Union[str, TextIO], scenario: str = "",
+                 meta: Optional[Dict[str, Any]] = None):
+        if isinstance(target, str):
+            self._fh: TextIO = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        header = {"kind": "meta", "schema": SCHEMA_VERSION}
+        if scenario:
+            header["scenario"] = scenario
+        if meta:
+            header.update(_jsonable(meta))
+        self._write(header)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def trace(self, rec: TraceRecord) -> None:
+        self._write({
+            "kind": "trace",
+            "t": rec.time,
+            "component": rec.component,
+            "event": rec.event,
+            "info": _jsonable(rec.info),
+        })
+
+    def tracer(self, tracer: Tracer) -> int:
+        """Dump every record currently held by ``tracer``; returns count."""
+        for rec in tracer.records:
+            self.trace(rec)
+        return len(tracer.records)
+
+    def metrics(self, snapshot: Dict[str, Any]) -> None:
+        self._write({
+            "kind": "metrics",
+            "t": snapshot.get("time_ns", 0.0),
+            "snapshot": snapshot,
+        })
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def trace_records_to_jsonl(records: Iterable[TraceRecord], path: str,
+                           scenario: str = "") -> int:
+    """Convenience one-shot dump; returns the number of records written."""
+    n = 0
+    with JsonlExporter(path, scenario=scenario) as ex:
+        for rec in records:
+            ex.trace(rec)
+            n += 1
+    return n
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL export (blank lines skipped)."""
+    out: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,140 @@
+"""Golden-snapshot comparison with per-key tolerances.
+
+A golden file is JSON of the form::
+
+    {
+      "_schema": "tccluster-golden-v1",
+      "metrics": { "<dotted.key>": <number>, ... },
+      "tolerances": {
+        "default_rel": 0.05,
+        "keys": { "<dotted.key or prefix*>": {"rel": 0.02} | {"abs": 3} }
+      }
+    }
+
+``metrics`` is a *flattened* view of a nested snapshot (dict keys joined
+with dots).  Comparison walks the golden keys: every golden key must
+exist in the actual snapshot and agree within tolerance.  Extra actual
+keys are ignored, so adding new instrumentation never breaks existing
+goldens; removing or renaming a metric fails loudly.
+
+Tolerance resolution for a key: an exact ``keys`` entry wins, else the
+longest matching ``prefix*`` entry, else ``default_rel``.  Integers
+compare under the same rule (a relative tolerance of 0 demands equality,
+which deterministic counters like packet counts should use).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "GoldenMismatch",
+    "flatten",
+    "compare_to_golden",
+    "assert_matches_golden",
+    "load_golden",
+    "save_golden",
+]
+
+SCHEMA = "tccluster-golden-v1"
+Number = Union[int, float]
+
+
+class GoldenMismatch(AssertionError):
+    """Raised when a snapshot deviates from its golden beyond tolerance."""
+
+    def __init__(self, violations: List[str]):
+        self.violations = violations
+        super().__init__(
+            f"{len(violations)} golden metric(s) out of tolerance:\n  "
+            + "\n  ".join(violations)
+        )
+
+
+def flatten(tree: Dict[str, Any], prefix: str = "") -> Dict[str, Number]:
+    """Flatten nested dicts to dotted keys, keeping only numeric leaves."""
+    out: Dict[str, Number] = {}
+    for k, v in tree.items():
+        key = f"{prefix}.{k}" if prefix else str(k)
+        if isinstance(v, dict):
+            out.update(flatten(v, key))
+        elif isinstance(v, bool):
+            out[key] = int(v)
+        elif isinstance(v, (int, float)) and math.isfinite(v):
+            out[key] = v
+    return out
+
+
+def _tolerance_for(key: str, tolerances: Dict[str, Any]) -> Dict[str, Number]:
+    keys = tolerances.get("keys", {})
+    if key in keys:
+        return keys[key]
+    best: Optional[str] = None
+    for pat in keys:
+        if pat.endswith("*") and key.startswith(pat[:-1]):
+            if best is None or len(pat) > len(best):
+                best = pat
+    if best is not None:
+        return keys[best]
+    return {"rel": tolerances.get("default_rel", 0.05)}
+
+
+def _within(actual: Number, expect: Number, tol: Dict[str, Number]) -> bool:
+    if "abs" in tol and abs(actual - expect) <= tol["abs"]:
+        return True
+    if "rel" in tol:
+        return abs(actual - expect) <= abs(expect) * tol["rel"]
+    return "abs" in tol and False
+
+
+def compare_to_golden(actual_tree: Dict[str, Any],
+                      golden: Dict[str, Any]) -> List[str]:
+    """Return a list of human-readable violations (empty == pass)."""
+    if golden.get("_schema") != SCHEMA:
+        return [f"golden schema {golden.get('_schema')!r} != {SCHEMA!r}"]
+    actual = flatten(actual_tree)
+    tolerances = golden.get("tolerances", {})
+    violations: List[str] = []
+    for key, expect in golden.get("metrics", {}).items():
+        if key not in actual:
+            violations.append(f"{key}: missing from snapshot (golden={expect})")
+            continue
+        got = actual[key]
+        tol = _tolerance_for(key, tolerances)
+        if not _within(got, expect, tol):
+            spec = ", ".join(f"{k}={v}" for k, v in sorted(tol.items()))
+            violations.append(
+                f"{key}: got {got:g}, golden {expect:g} (tolerance {spec})"
+            )
+    return violations
+
+
+def assert_matches_golden(actual_tree: Dict[str, Any],
+                          golden_path: str) -> None:
+    """Raise :class:`GoldenMismatch` listing every out-of-tolerance key."""
+    violations = compare_to_golden(actual_tree, load_golden(golden_path))
+    if violations:
+        raise GoldenMismatch(violations)
+
+
+def load_golden(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_golden(path: str, metrics_tree: Dict[str, Any],
+                tolerances: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Flatten ``metrics_tree`` and write a golden file; returns it."""
+    doc = {
+        "_schema": SCHEMA,
+        "metrics": flatten(metrics_tree),
+        "tolerances": tolerances or {"default_rel": 0.05},
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

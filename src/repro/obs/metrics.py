@@ -1,0 +1,243 @@
+"""Metrics registry: named counters, gauges, log-bucketed histograms.
+
+The registry is the instrumentation backbone of the simulator.  Hardware
+and library models record into it from their hot paths, so it follows the
+same contract :class:`~repro.sim.trace.Tracer` documents: **near-zero
+cost when disabled**.  Every instrumentation site is guarded by a single
+attribute read (``if registry.enabled:``), and a registry starts
+disabled; the Figure 6/7 sweeps therefore pay nothing unless a caller
+opts in via :func:`enable_metrics`.
+
+One registry exists per :class:`~repro.sim.engine.Simulator` (attached
+lazily by :func:`metrics_for`), so every component of one simulated
+cluster -- links, northbridges, endpoints -- shares a namespace and a
+single snapshot covers the whole machine.
+
+Metric kinds:
+
+* **counter** -- monotonically increasing int/float (packets, stalls),
+* **gauge** -- last-value (queue depth) with an optional tracked max,
+* **histogram** -- :class:`LogHistogram`, power-of-two bucketed samples
+  with percentile estimation (latency distributions),
+* **accumulator** -- re-exported :class:`IntervalAccumulator` for
+  time-weighted averages (occupancy, utilization).
+
+The registry also provides the cross-process *message latency pairing*
+used by the message library: the sending endpoint stamps
+``note_send(src, dst)``, the receiving endpoint pops the stamp with
+``pop_send(src, dst)`` (delivery is FIFO per directed pair, so a deque
+per pair is exact).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from ..sim.trace import IntervalAccumulator
+
+__all__ = [
+    "LogHistogram",
+    "MetricsRegistry",
+    "metrics_for",
+    "enable_metrics",
+]
+
+
+class LogHistogram:
+    """Histogram with power-of-two buckets, built for latency in ns.
+
+    Bucket ``i`` covers ``[2**i, 2**(i+1))``; values below 1 land in
+    bucket 0.  Percentiles interpolate linearly inside the bucket, which
+    is accurate enough for regression detection (the golden harness
+    compares p50/p99 under a relative tolerance).
+    """
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = defaultdict(int)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    @staticmethod
+    def bucket_of(value: float) -> int:
+        if value < 1.0:
+            return 0
+        return max(0, int(value).bit_length() - 1)
+
+    def add(self, value: float) -> None:
+        self.buckets[self.bucket_of(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "LogHistogram") -> None:
+        for b, n in other.buckets.items():
+            self.buckets[b] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (0..100)."""
+        if not self.count:
+            return float("nan")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        target = p / 100.0 * self.count
+        seen = 0
+        for b in sorted(self.buckets):
+            n = self.buckets[b]
+            if seen + n >= target:
+                lo, hi = float(1 << b), float(1 << (b + 1))
+                frac = (target - seen) / n
+                est = lo + frac * (hi - lo)
+                # Clamp to the observed range: a single-bucket histogram
+                # must not report beyond its true min/max.
+                return max(self.min, min(self.max, est))
+            seen += n
+        return self.max
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (sparse buckets, keyed by lower bound)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "buckets": {str(1 << b): n for b, n in sorted(self.buckets.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<LogHistogram n={self.count} p50={self.percentile(50):.1f}>"
+
+
+class MetricsRegistry:
+    """Shared, named metrics for one simulator.  Starts disabled."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.counters: Dict[str, float] = defaultdict(int)
+        self.gauges: Dict[str, float] = {}
+        self.gauge_max: Dict[str, float] = {}
+        self.histograms: Dict[str, LogHistogram] = {}
+        self.accumulators: Dict[str, IntervalAccumulator] = {}
+        self._inflight: Dict[Tuple[int, int], Deque[float]] = defaultdict(deque)
+
+    # -- recording (call sites guard on .enabled themselves) -------------
+    def inc(self, name: str, amount: float = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+        if value > self.gauge_max.get(name, float("-inf")):
+            self.gauge_max[name] = value
+
+    def histogram(self, name: str) -> LogHistogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = LogHistogram()
+        return h
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.histogram(name).add(value)
+
+    def accumulator(self, name: str) -> IntervalAccumulator:
+        a = self.accumulators.get(name)
+        if a is None:
+            a = self.accumulators[name] = IntervalAccumulator()
+        return a
+
+    def track(self, name: str, time: float, value: float) -> None:
+        """Time-weighted sample (occupancy-style) plus max gauge."""
+        if not self.enabled:
+            return
+        self.accumulator(name).update(time, value)
+        if value > self.gauge_max.get(name, float("-inf")):
+            self.gauge_max[name] = value
+
+    # -- message latency pairing -----------------------------------------
+    def note_send(self, src: int, dst: int, time: float) -> None:
+        if not self.enabled:
+            return
+        self._inflight[(src, dst)].append(time)
+
+    def pop_send(self, src: int, dst: int) -> Optional[float]:
+        q = self._inflight.get((src, dst))
+        if not q:
+            return None
+        return q.popleft()
+
+    def inflight(self, src: int, dst: int) -> int:
+        return len(self._inflight.get((src, dst), ()))
+
+    # -- snapshot / diff ---------------------------------------------------
+    def snapshot(self, now: float) -> Dict[str, Any]:
+        """One JSON-ready view of everything recorded so far."""
+        return {
+            "time_ns": now,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "gauge_max": dict(self.gauge_max),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+            "accumulators": {
+                k: {"avg": a.average(now), "samples": a.samples}
+                for k, a in self.accumulators.items()
+            },
+        }
+
+    @staticmethod
+    def diff(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+        """Counter deltas between two snapshots (new keys count from 0)."""
+        b = before.get("counters", {})
+        a = after.get("counters", {})
+        out = {k: v - b.get(k, 0) for k, v in a.items() if v != b.get(k, 0)}
+        return {
+            "time_ns": after.get("time_ns", 0) - before.get("time_ns", 0),
+            "counters": out,
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.gauge_max.clear()
+        self.histograms.clear()
+        self.accumulators.clear()
+        self._inflight.clear()
+
+
+def metrics_for(sim) -> MetricsRegistry:
+    """The (lazily created) registry of one simulator."""
+    reg = getattr(sim, "_obs_metrics", None)
+    if reg is None:
+        reg = MetricsRegistry()
+        sim._obs_metrics = reg
+    return reg
+
+
+def enable_metrics(sim) -> MetricsRegistry:
+    """Turn on metrics collection for ``sim``; returns the registry."""
+    reg = metrics_for(sim)
+    reg.enabled = True
+    return reg

@@ -1,0 +1,84 @@
+"""Render a :meth:`TCCluster.metrics` snapshot as text or JSON.
+
+The benchmarks call :func:`format_report` after a run so every figure
+comes with the hardware-counter view behind it (link utilization,
+endpoint totals, latency percentiles) -- the evaluation style of the
+interconnect-measurement literature (hardware counters + latency
+histograms as the primary instrument).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = ["format_report"]
+
+
+def _link_rows(links: Dict[str, Any]) -> List[tuple]:
+    rows = []
+    for name, sides in sorted(links.items()):
+        for side, s in sorted(sides.items()):
+            rows.append((
+                name, side, s["packets"], s["wire_bytes"], s["retries"],
+                s["drops"], round(100.0 * s["utilization"], 2),
+            ))
+    return rows
+
+
+def _endpoint_rows(endpoints: Dict[str, Any]) -> List[tuple]:
+    rows = []
+    for pair, s in sorted(endpoints.items()):
+        rows.append((
+            pair, s["msgs_sent"], s["msgs_received"], s["bytes_sent"],
+            s["tx_stalls"], round(s["tx_stall_ns"], 1),
+            s["max_inflight_slots"],
+        ))
+    return rows
+
+
+def format_report(snapshot: Dict[str, Any], fmt: str = "text") -> str:
+    """``fmt`` is ``"text"`` (aligned tables) or ``"json"`` (indented)."""
+    # Imported here: repro.bench pulls in the whole stack, which itself
+    # imports repro.obs for instrumentation.
+    from ..bench.reporting import table
+
+    if fmt == "json":
+        return json.dumps(snapshot, indent=2, sort_keys=True, default=str)
+    if fmt != "text":
+        raise ValueError(f"unknown report format {fmt!r}")
+    parts: List[str] = [f"metrics @ t={snapshot.get('time_ns', 0.0):,.1f} ns"]
+    links = snapshot.get("links")
+    if links:
+        parts.append(table(
+            ["link", "tx", "packets", "wire B", "retries", "drops", "util %"],
+            _link_rows(links), title="links"))
+    endpoints = snapshot.get("endpoints")
+    if endpoints:
+        parts.append(table(
+            ["endpoint", "sent", "recvd", "tx B", "stalls", "stall ns", "max inflight"],
+            _endpoint_rows(endpoints), title="endpoints"))
+    lat = snapshot.get("message_latency_ns")
+    if lat and lat.get("count"):
+        parts.append(
+            "message latency ns: "
+            f"n={lat['count']}  mean={lat['mean']:.1f}  p50={lat['p50']:.1f}  "
+            f"p99={lat['p99']:.1f}  max={lat['max']:.1f}"
+        )
+    nb = snapshot.get("northbridges")
+    if nb:
+        rows = []
+        for chip, counters in sorted(nb.items()):
+            interesting = {k: v for k, v in counters.items() if v}
+            rows.append((chip, ", ".join(f"{k}={v}" for k, v in
+                                         sorted(interesting.items())) or "-"))
+        parts.append(table(["chip", "northbridge counters"], rows,
+                           title="northbridges"))
+    wc = snapshot.get("write_combining")
+    if wc:
+        rows = [(chip, s["fills"], s["full_flushes"], s["partial_flushes"],
+                 s["evictions"]) for chip, s in sorted(wc.items())]
+        parts.append(table(
+            ["chip", "fills", "full flushes", "partial", "evictions"],
+            rows, title="write combining"))
+    return "\n\n".join(parts)

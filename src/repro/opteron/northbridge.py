@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from ..ht.link import Link, LinkSide
 from ..ht.packet import Command, Packet, make_posted_write, make_read, make_read_response, make_target_done
 from ..ht.tags import ResponseMatchingTable, UnroutableResponseError
+from ..obs.metrics import metrics_for
 from ..sim import Counter, Event, Simulator, Store
 from ..util.calibration import TimingModel
 from . import registers as regs_mod
@@ -111,6 +112,7 @@ class Northbridge:
         self.regs: RegisterFile = chip.regs
         self.tags = ResponseMatchingTable()
         self.counters = Counter()
+        self._m = metrics_for(sim)
         #: Posted-write buffering between the CPU cores (SRQ) and the
         #: fabric; its capacity is the calibrated aggregate that produces
         #: the Figure 6 buffering peak.
@@ -387,6 +389,9 @@ class Northbridge:
         t = self.timing
         while True:
             pkt = yield self.posted_q.get()
+            if self._m.enabled:
+                self._m.track(f"{self.name}.posted_q_depth",
+                              self.sim.now, len(self.posted_q))
             yield self.sim.timeout(t.nb_request_ns)
             r = self.route(pkt.addr)
             if not r.writable and r.kind is not RouteKind.NONE:
@@ -399,6 +404,8 @@ class Northbridge:
                 self.chip.memctrl.write(r.local_offset, pkt.data, pkt.mask)
                 self.counters.inc("local_writes")
             elif r.kind is RouteKind.MMIO_LOCAL_LINK:
+                # The TCCluster transmit path: an MMIO window homed at this
+                # node whose DstLink points straight out of the chip.
                 yield from self._emit_mmio(pkt, r)
                 self.counters.inc("mmio_writes")
             elif r.kind is RouteKind.DRAM_REMOTE:
@@ -406,9 +413,12 @@ class Northbridge:
                 yield self._send_on_port(port, pkt)
                 self.counters.inc("fabric_writes")
             elif r.kind is RouteKind.MMIO_REMOTE:
+                # MMIO homed at another fabric node: one coherent hop
+                # first, counted apart from plain DRAM fabric writes.
                 port = self._fabric_port_for(r.dst_node)
                 yield self._send_on_port(port, pkt)
                 self.counters.inc("fabric_writes")
+                self.counters.inc("mmio_remote_writes")
             else:
                 self.counters.inc("master_aborts")
 

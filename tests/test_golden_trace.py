@@ -1,0 +1,77 @@
+"""Golden-trace regression harness (the observability tentpole's teeth).
+
+The canonical 2-node scenario runs with metrics enabled and its key
+metrics -- message counts, per-link packets/bytes/busy time, latency
+percentiles, stall counts, final simulation time -- are compared against
+``tests/golden/canonical_2node.json`` under per-key tolerances.  A PR
+that perturbs timing or routing fails here loudly instead of silently
+skewing the reproduced figures.
+
+The harness also proves its own sensitivity: a deliberate +10% link
+latency (slower lanes + longer cable) must push the snapshot out of
+tolerance.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.obs.golden import (
+    GoldenMismatch,
+    assert_matches_golden,
+    compare_to_golden,
+    load_golden,
+)
+from repro.obs.scenarios import run_canonical_2node
+from repro.util.calibration import DEFAULT_TIMING
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+CANONICAL = os.path.join(GOLDEN_DIR, "canonical_2node.json")
+
+
+@pytest.fixture(scope="module")
+def canonical_snapshot():
+    return run_canonical_2node()
+
+
+def test_canonical_2node_matches_golden(canonical_snapshot):
+    assert_matches_golden(canonical_snapshot, CANONICAL)
+
+
+def test_canonical_2node_is_deterministic(canonical_snapshot):
+    again = run_canonical_2node()
+    assert again == canonical_snapshot
+
+
+def test_plus_10pct_link_latency_fails_golden():
+    """The harness must catch a 10% link slowdown, the acceptance bar."""
+    slower = dataclasses.replace(
+        DEFAULT_TIMING,
+        link_gbit_per_lane=DEFAULT_TIMING.link_gbit_per_lane / 1.1,
+        link_propagation_ns=DEFAULT_TIMING.link_propagation_ns * 1.1,
+    )
+    perturbed = run_canonical_2node(timing=slower)
+    with pytest.raises(GoldenMismatch) as exc:
+        assert_matches_golden(perturbed, CANONICAL)
+    # The timing-derived keys are the ones that must move.
+    text = str(exc.value)
+    assert "links_busy" in text or "latency" in text or "time_ns" in text
+
+
+def test_counter_keys_demand_exactness():
+    """Deterministic counters carry rel=0 tolerance: off-by-one packet
+    counts fail even though timing keys have slack."""
+    golden = load_golden(CANONICAL)
+    snapshot = run_canonical_2node()
+    snapshot["links"]["tcc_a_packets"] += 1
+    violations = compare_to_golden(snapshot, golden)
+    assert any("tcc_a_packets" in v for v in violations)
+
+
+def test_missing_metric_is_a_violation():
+    golden = load_golden(CANONICAL)
+    snapshot = run_canonical_2node()
+    del snapshot["latency"]["p99_ns"]
+    violations = compare_to_golden(snapshot, golden)
+    assert any("latency.p99_ns" in v and "missing" in v for v in violations)
