@@ -71,6 +71,9 @@ class LinkStats:
     #: Time packets sat at the head of a TX queue waiting for a
     #: flow-control credit (receiver back-pressure).
     credit_stall_ns: float = 0.0
+    #: Multi-packet serialization windows taken by the burst fast path
+    #: (wall-clock instrumentation; no timing meaning).
+    bursts: int = 0
 
     def utilization(self, elapsed_ns: float) -> float:
         return self.busy_ns / elapsed_ns if elapsed_ns > 0 else 0.0
@@ -85,6 +88,7 @@ class LinkStats:
             "drops": self.drops,
             "busy_ns": self.busy_ns,
             "credit_stall_ns": self.credit_stall_ns,
+            "bursts": self.bursts,
             "utilization": self.utilization(elapsed_ns),
         }
 
@@ -120,29 +124,56 @@ class _Direction:
         for vc in VirtualChannel:
             sim.process(self._pump(vc), name=f"{link.name}.{tx_side}.pump.{vc.name}")
 
+    #: Upper bound on packets serialized per burst window (bounds the work
+    #: done by one calendar callback; txq depth usually bounds it first).
+    MAX_BURST = 64
+
+    def _can_burst(self, vc: VirtualChannel) -> bool:
+        """Bursting is only legal when nothing could interleave at the phy
+        during the window: no bit errors (retry falls back to per-packet),
+        no other VC with traffic queued or waiting for the serializer, and
+        tracing off (burst tx records would append out of time order)."""
+        link = self.link
+        if not link.sim.features.burst_serialization or link.ber > 0:
+            return False
+        if link.tracer.enabled or self.phy._waiters:
+            return False
+        return all(not self.txq[other] for other in VirtualChannel if other is not vc)
+
     def _pump(self, vc: VirtualChannel):
         link = self.link
         sim = link.sim
         txq = self.txq[vc]
         credits = self.credits[vc]
         while True:
-            pkt = yield txq.get()
-            wait_start = sim.now
-            yield credits.take()
-            if sim.now > wait_start:
+            # Fast paths: when the queue has a packet, a credit is free and
+            # the serializer is idle, take all three inline -- no Event
+            # allocation, no calendar round-trip.  The blocking fallbacks
+            # preserve FCFS order exactly as before.
+            ok, pkt = txq.try_get()
+            if not ok:
+                pkt = yield txq.get()
+            if not credits.try_take():
+                wait_start = sim.now
+                yield credits.take()
                 self.stats.credit_stall_ns += sim.now - wait_start
-            yield self.phy.acquire()
+            if not self.phy.try_acquire():
+                yield self.phy.acquire()
+            dropped = False
             try:
                 if link.state != LinkState.ACTIVE:
                     raise LinkDownError(
                         f"link {link.name} went {link.state} while transmitting"
                     )
+                if self._can_burst(vc) and txq:
+                    yield from self._transmit_burst(pkt, vc)
+                    continue  # phy released inside; stats/delivery done
                 ser = link.serialization_ns(pkt)
                 attempts = 1
                 while link.ber > 0 and link._rng.random() < link.ber:
                     # HT3 retry: CRC failure detected, NAK + retransmission
                     # costs another serialization window plus turnaround.
-                    yield sim.timeout(ser + link.retry_turnaround_ns)
+                    yield ser + link.retry_turnaround_ns
                     self.stats.retries += 1
                     self.stats.busy_ns += ser + link.retry_turnaround_ns
                     self.stats.retry_wire_bytes += pkt.wire_bytes(
@@ -150,26 +181,86 @@ class _Direction:
                     )
                     attempts += 1
                     if attempts > link.max_retries:
-                        self.stats.drops += 1
-                        raise LinkDownError(
-                            f"link {link.name}: packet dropped after "
-                            f"{link.max_retries} retries"
-                        )
-                yield sim.timeout(ser)
-                self.stats.busy_ns += ser
+                        # Give up on this packet but keep the VC alive: a
+                        # dead pump (and a leaked credit) would silently
+                        # deadlock the channel forever.
+                        dropped = True
+                        break
+                if not dropped:
+                    yield ser
+                    self.stats.busy_ns += ser
             finally:
                 self.phy.release()
+            if dropped:
+                self.stats.drops += 1
+                credits.give()
+                link.tracer.emit(sim.now, link.name, "drop",
+                                 (self.tx_side, vc.name, pkt.addr))
+                continue
             self.stats.packets += 1
             self.stats.payload_bytes += len(pkt.data)
             self.stats.wire_bytes += pkt.wire_bytes(link.timing.ht_crc_bytes)
-            link.tracer.emit(sim.now, link.name, "tx", (self.tx_side, vc.name, pkt.addr))
+            if link.tracer.enabled:
+                link.tracer.emit(sim.now, link.name, "tx",
+                                 (self.tx_side, vc.name, pkt.addr))
             sim.schedule(link.propagation_ns, self._deliver, pkt, vc)
 
+    def _transmit_burst(self, pkt: Packet, vc: VirtualChannel):
+        """Serialize ``pkt`` plus every same-VC packet that is already
+        queued with a credit instantly available as ONE occupancy window.
+
+        Per-packet wire times are what the serializer would produce
+        back-to-back anyway (packet ``i`` ends at ``t0 + sum(ser_0..i)``),
+        so delivery timestamps are computed arithmetically and pushed up
+        front; only a single sleep covers the whole window.  Called with
+        the phy held and a credit taken for ``pkt``; the caller's
+        ``finally`` releases the phy when the window ends.
+        """
+        link = self.link
+        sim = link.sim
+        txq = self.txq[vc]
+        credits = self.credits[vc]
+        burst = [pkt]
+        t0 = sim.now
+        # The per-packet pump would pop packet i only once packets 0..i-1
+        # finished serializing; popping early must not free the txq slot
+        # sooner, or a back-pressured sender unblocks ahead of time and
+        # virtual timing diverges.  get_deferred holds each slot until
+        # the time the per-packet pop would have happened.
+        pop_at = t0
+        while len(burst) < self.MAX_BURST and txq and credits.try_take():
+            pop_at += link.serialization_ns(burst[-1])
+            nxt = txq.get_deferred(pop_at)
+            if nxt is None:  # pragma: no cover - len(txq) just said otherwise
+                credits.give()
+                break
+            burst.append(nxt)
+        cum = 0.0
+        crc = link.timing.ht_crc_bytes
+        prop = link.propagation_ns
+        for p in burst:
+            cum += link.serialization_ns(p)
+            self.stats.packets += 1
+            self.stats.payload_bytes += len(p.data)
+            self.stats.wire_bytes += p.wire_bytes(crc)
+            sim._push(t0 + cum + prop, self._deliver, (p, vc))
+        self.stats.bursts += 1
+        yield cum
+        self.stats.busy_ns += cum
+
     def _deliver(self, pkt: Packet, vc: VirtualChannel) -> None:
-        self.rx.try_put(pkt)
-        self.link.tracer.emit(
-            self.link.sim.now, self.link.name, "rx", (self.rx_side, vc.name, pkt.addr)
-        )
+        link = self.link
+        if link.tracer.enabled:
+            # Keep the deferred wake so the rx trace record lands before
+            # any receiver reaction at the same timestamp.
+            self.rx.try_put(pkt)
+            link.tracer.emit(link.sim._now, link.name, "rx",
+                             (self.rx_side, vc.name, pkt.addr))
+        else:
+            # _deliver is a bare calendar callback and this is its final
+            # action: wake a parked receiver synchronously, saving the
+            # zero-delay dispatch entry per packet.
+            self.rx.put_inline(pkt)
 
 
 class Link:

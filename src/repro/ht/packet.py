@@ -71,40 +71,48 @@ class Command(enum.IntEnum):
     FLUSH = 0x02
     FENCE = 0x3C
 
+    # Classification runs several times per packet per hop; frozenset
+    # membership on the raw code beats chained enum comparisons.
     @property
     def is_request(self) -> bool:
-        return self in (
-            Command.WRITE_NONPOSTED,
-            Command.WRITE_NONPOSTED_BYTE,
-            Command.READ,
-            Command.WRITE_POSTED,
-            Command.WRITE_POSTED_BYTE,
-            Command.BROADCAST,
-            Command.FLUSH,
-            Command.FENCE,
-        )
+        return self._value_ in _REQUEST_CODES
 
     @property
     def is_response(self) -> bool:
-        return self in (Command.READ_RESPONSE, Command.TARGET_DONE)
+        return self._value_ in _RESPONSE_CODES
 
     @property
     def is_posted(self) -> bool:
-        return self in (Command.WRITE_POSTED, Command.WRITE_POSTED_BYTE,
-                        Command.BROADCAST, Command.FENCE)
+        return self._value_ in _POSTED_CODES
 
     @property
     def is_byte_write(self) -> bool:
-        return self in (Command.WRITE_POSTED_BYTE, Command.WRITE_NONPOSTED_BYTE)
+        return self._value_ in _BYTE_WRITE_CODES
 
     @property
     def carries_address(self) -> bool:
-        return self.is_request and self is not Command.FENCE
+        return self._value_ in _ADDRESSED_CODES
 
     @property
     def expects_response(self) -> bool:
-        return self in (Command.WRITE_NONPOSTED, Command.WRITE_NONPOSTED_BYTE,
-                        Command.READ, Command.FLUSH)
+        return self._value_ in _EXPECTS_RESPONSE_CODES
+
+
+_REQUEST_CODES = frozenset((
+    Command.WRITE_NONPOSTED, Command.WRITE_NONPOSTED_BYTE, Command.READ,
+    Command.WRITE_POSTED, Command.WRITE_POSTED_BYTE, Command.BROADCAST,
+    Command.FLUSH, Command.FENCE,
+))
+_RESPONSE_CODES = frozenset((Command.READ_RESPONSE, Command.TARGET_DONE))
+_POSTED_CODES = frozenset((Command.WRITE_POSTED, Command.WRITE_POSTED_BYTE,
+                           Command.BROADCAST, Command.FENCE))
+_BYTE_WRITE_CODES = frozenset((Command.WRITE_POSTED_BYTE,
+                               Command.WRITE_NONPOSTED_BYTE))
+_ADDRESSED_CODES = _REQUEST_CODES - {Command.FENCE}
+_EXPECTS_RESPONSE_CODES = frozenset((
+    Command.WRITE_NONPOSTED, Command.WRITE_NONPOSTED_BYTE,
+    Command.READ, Command.FLUSH,
+))
 
 
 class VirtualChannel(enum.IntEnum):
@@ -116,11 +124,16 @@ class VirtualChannel(enum.IntEnum):
 
     @staticmethod
     def for_command(cmd: Command) -> "VirtualChannel":
-        if cmd.is_response:
-            return VirtualChannel.RESPONSE
-        if cmd.is_posted:
-            return VirtualChannel.POSTED
-        return VirtualChannel.NONPOSTED
+        return _VC_FOR[cmd]
+
+
+#: Command -> VC resolution table (classification is static per command).
+_VC_FOR = {
+    c: (VirtualChannel.RESPONSE if c in _RESPONSE_CODES
+        else VirtualChannel.POSTED if c in _POSTED_CODES
+        else VirtualChannel.NONPOSTED)
+    for c in Command
+}
 
 
 # 64-bit primary request header layout (bit positions).
@@ -141,7 +154,7 @@ _F_R_COUNT = (21, 4)
 _F_R_ERROR = (25, 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One HyperTransport packet.
 
@@ -168,6 +181,9 @@ class Packet:
     #: Set by the fabric for debugging/tracing; not part of the wire image.
     src_node: Optional[int] = None
     inject_time: float = field(default=0.0, compare=False)
+    #: Aggregation side-channel (see :mod:`repro.ht.aggregate`); declared
+    #: here because the class uses ``__slots__``.
+    _agg_tag: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.addr < 0 or self.addr >= (1 << 64):

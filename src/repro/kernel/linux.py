@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from ..firmware.board import Board
 from ..firmware.boot import BootReport
 from ..opteron import CpuCore, OpteronChip
+from ..opteron.mtrr import MemoryType
 from ..sim import Simulator
 from .driver import TccDriver
 from .pagetable import Mapping, PageFault, PageTable
@@ -70,8 +71,23 @@ class UserProcess:
     # -- memory access (page-table checked, executed on the bound core) -----
     def store(self, addr: int, data: bytes):
         m = self.pagetable.check_store(addr, len(data))
-        # The mapping's memory type (PAT) governs user accesses.
-        yield from self.core.store(addr, data, mtype=m.mtype)
+        # The mapping's memory type (PAT) governs user accesses.  The
+        # mtype dispatch is inlined here (instead of delegating through
+        # ``core.store``) to shed one generator frame from the hottest
+        # call chain in the simulator -- the streaming WC store path.
+        core = self.core
+        if not data:
+            raise ValueError("empty store")
+        core.stores += 1
+        mtype = m.mtype
+        if mtype is None:
+            mtype = core.chip.mtrr.type_for_range(addr, len(data))
+        if mtype is MemoryType.WC:
+            yield from core._store_wc(addr, data)
+        elif mtype is MemoryType.UC:
+            yield from core._store_uc(addr, data)
+        else:
+            yield from core._store_wb(addr, data)
 
     def load(self, addr: int, length: int):
         m = self.pagetable.check_load(addr, length)

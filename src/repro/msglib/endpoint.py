@@ -25,6 +25,7 @@ All public methods are generators driven inside a simulation process.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..obs.metrics import metrics_for
@@ -64,6 +65,8 @@ class EndpointStats:
         self.max_inflight_slots = 0
         self.polls = 0
         self.feedback_writes = 0
+        #: Doorbell wakeups while parked (poll-parking fast path).
+        self.park_wakes = 0
 
     def as_dict(self) -> dict:
         return dict(vars(self))
@@ -105,6 +108,12 @@ class Endpoint:
         self.fb_sent_heap = 0
         self.stats = EndpointStats()
         self._m = metrics_for(self.sim)
+        # Poll-parking state: a doorbell watching my rx ring, re-validated
+        # when the process is re-bound to another socket (numactl).
+        self._park_chip = None
+        self._park_db = None
+        self._park_db_obj = None
+        self._watched_mc = None
 
     # -- instrumentation ------------------------------------------------
     @property
@@ -134,7 +143,7 @@ class Endpoint:
             # End-to-end latency clock starts before the library overhead,
             # matching what an application-level timer would see.
             self._m.note_send(self.me, self.peer, self.sim.now)
-        yield self.sim.timeout(self.proc.core.chip.timing.send_overhead_ns)
+        yield self.proc.core.chip.timing.send_overhead_ns
         if len(data) <= self.cfg.eager_max:
             yield from self._send_eager(data, mode)
             self.stats.eager_sent += 1
@@ -216,7 +225,7 @@ class Endpoint:
             yield from self._refresh_ack()
             if self._free_tx_slots() >= n:
                 break
-            yield self.sim.timeout(self.proc.core.chip.timing.poll_iteration_ns)
+            yield self.proc.core.chip.timing.poll_iteration_ns
         self.stats.tx_stall_ns += self.sim.now - stall_start
         if self._m.enabled:
             self._m.inc(f"msglib.r{self.me}->r{self.peer}.slot_stall_ns",
@@ -231,7 +240,7 @@ class Endpoint:
             yield from self._refresh_ack()
             if self.heap_sent - self.heap_acked + need <= self.cfg.heap_bytes:
                 break
-            yield self.sim.timeout(self.proc.core.chip.timing.poll_iteration_ns)
+            yield self.proc.core.chip.timing.poll_iteration_ns
         self.stats.tx_stall_ns += self.sim.now - stall_start
         if self._m.enabled:
             self._m.inc(f"msglib.r{self.me}->r{self.peer}.heap_stall_ns",
@@ -275,7 +284,7 @@ class Endpoint:
         else:
             data = yield from self._recv_multislot(raw, length)
             yield from self._maybe_feedback()
-        yield self.sim.timeout(t.recv_overhead_ns)
+        yield t.recv_overhead_ns
         self.stats.msgs_received += 1
         self.stats.bytes_received += len(data)
         if self._m.enabled:
@@ -297,11 +306,22 @@ class Endpoint:
         return data
 
     def _poll_slot(self, want_seq: int):
-        """Spin on a slot until its sequence number appears."""
+        """Spin on a slot until its sequence number appears.
+
+        With ``SimFeatures.poll_parking`` the *idle* part of the spin is
+        event-driven: instead of burning one calendar entry per
+        ``poll_iteration_ns``, the process parks on a memory doorbell rung
+        by the controller when a write commits into the rx ring, then
+        re-joins the exact poll grid the busy loop would have followed
+        (see DESIGN.md, "Performance model equivalence").  Sampling times
+        and ``stats.polls`` are unchanged; idle-spin events drop to zero.
+        """
         addr = self._slot_rx_addr(want_seq)
         t = self.proc.core.chip.timing
         flushed_idle_fb = False
         while True:
+            db = self._parking_doorbell()
+            seen = db.count if db is not None else 0
             self.stats.polls += 1
             raw = yield from self.proc.load(addr, SLOT_BYTES)
             seq, _ = unpack_header(raw)
@@ -317,7 +337,97 @@ class Endpoint:
                 # sender can make progress.
                 flushed_idle_fb = True
                 yield from self._maybe_feedback(force=self._fb_debt() > 0)
-            yield self.sim.timeout(t.poll_iteration_ns)
+            if db is None:
+                yield t.poll_iteration_ns
+                continue
+            # Park.  `seen` was snapshotted before the load, so any commit
+            # since then (including one racing the park) wakes immediately.
+            load_ns = t.nb_request_ns + self.proc.core.chip.memctrl.read_latency_ns(
+                SLOT_BYTES, uncached=True
+            )
+            grid = t.poll_iteration_ns + load_ns
+            anchor = self.sim.now
+            yield db.wait(seen)
+            self.stats.park_wakes += 1
+            # Quantize the wake onto the poll grid: virtual poll j is the
+            # first whose *completion* (anchor + j*grid) lies at/after the
+            # commit that rang the bell.
+            j = max(1, math.ceil((self.sim.now - anchor) / grid))
+            self.stats.polls += j - 1  # wholly-elapsed virtual misses
+            cj = anchor + j * grid
+            sj = cj - load_ns
+            if sj >= self.sim.now:
+                # Next grid poll has not started yet: sleep to its start
+                # and resume the legacy loop (a real load from there).
+                yield sj - self.sim.now
+                continue
+            # The commit landed inside virtual poll j's load window.  That
+            # load (issued before the commit) is conceptually in flight;
+            # sample memory at its completion time instead of issuing a
+            # too-late real load that would skew the observed latency.
+            yield cj - self.sim.now
+            self.stats.polls += 1
+            raw = self._read_slot_direct(addr)
+            seq, _ = unpack_header(raw)
+            if seq == want_seq:
+                return raw
+            if seq > want_seq:
+                raise MessageError(
+                    f"ring overrun: found seq {seq} while waiting for "
+                    f"{want_seq} (flow control violated)"
+                )
+            # The bell was for another slot of the ring; stay on the grid.
+            yield t.poll_iteration_ns
+
+    def _parking_doorbell(self):
+        """Doorbell watching my rx ring, or None when parking is illegal.
+
+        Parking requires the ring to be local UC memory of the socket the
+        process is currently bound to: only then do ring writes commit at
+        this chip's memory controller and do polls bypass the caches.  The
+        verdict is cached per chip and re-evaluated after ``bind_to``.
+        """
+        if not self.sim.features.poll_parking:
+            return None
+        chip = self.proc.core.chip
+        if self._park_chip is chip:
+            return self._park_db
+        from ..opteron.mtrr import MemoryType
+        from ..opteron.northbridge import RouteKind
+        from ..sim import Doorbell
+
+        self._park_chip = chip
+        self._park_db = None
+        if self._watched_mc is not None:
+            self._watched_mc.unwatch(self._park_db_obj)
+            self._watched_mc = None
+        ring_bytes = self.cfg.nslots * SLOT_BYTES
+        try:
+            m = self.proc.pagetable.check_load(self.rx_ring_addr, SLOT_BYTES)
+        except Exception:
+            return None  # unmapped: let the real load raise the fault
+        if m.mtype is not MemoryType.UC:
+            return None  # cached polling would not see DRAM updates anyway
+        if chip.nb.route(self.rx_ring_addr).kind is not RouteKind.DRAM_LOCAL:
+            return None
+        lo = chip.nb._local_offset(self.rx_ring_addr)
+        hi = chip.nb._local_offset(self.rx_ring_addr + ring_bytes - 1) + 1
+        if hi - lo != ring_bytes:
+            return None  # ring straddles local ranges; keep busy-polling
+        if self._park_db_obj is None:
+            self._park_db_obj = Doorbell(
+                self.sim, name=f"ep.r{self.me}<-r{self.peer}.doorbell"
+            )
+        chip.memctrl.watch(lo, hi, self._park_db_obj)
+        self._watched_mc = chip.memctrl
+        self._park_db = self._park_db_obj
+        return self._park_db
+
+    def _read_slot_direct(self, addr: int):
+        """Zero-time ring-slot sample used by a quantized park wake (the
+        matching virtual load's port occupancy already elapsed)."""
+        chip = self.proc.core.chip
+        return chip.memory.read(chip.nb._local_offset(addr), SLOT_BYTES)
 
     def _recv_multislot(self, first_raw: bytes, length: int):
         k = slots_needed(length)

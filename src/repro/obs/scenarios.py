@@ -69,12 +69,20 @@ FIGURE_TOLERANCES: Dict[str, Any] = {"default_rel": 0.03}
 
 def run_canonical_2node(
     timing: TimingModel = DEFAULT_TIMING,
+    system=None,
 ) -> Dict[str, Any]:
     """Boot the two-board prototype, drive a fixed bidirectional message
-    mix, and distill the metrics snapshot into golden-comparable keys."""
+    mix, and distill the metrics snapshot into golden-comparable keys.
+
+    ``system``: an already-constructed (un-booted, metrics-enabled or not)
+    :class:`TCClusterSystem` to run on instead of building one -- lets the
+    wall-clock benchmark keep a handle on the simulator for its
+    event/heap-push counters.  Metrics are enabled and the system booted
+    here either way, so the golden snapshot is identical.
+    """
     from ..core import TCClusterSystem  # full stack; import on use
 
-    sys_ = TCClusterSystem.two_board_prototype(timing=timing)
+    sys_ = system if system is not None else TCClusterSystem.two_board_prototype(timing=timing)
     sys_.enable_metrics()
     sys_.boot()
     cl = sys_.cluster

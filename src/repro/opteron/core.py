@@ -75,16 +75,22 @@ class CpuCore:
 
     def _store_wc(self, addr: int, data: bytes):
         t = self.chip.timing
+        fill_ns = t.wc_line_fill_ns
+        nb = self.chip.nb
+        wc = self.wc
         pos = 0
-        while pos < len(data):
+        size = len(data)
+        while pos < size:
             line = (addr + pos) & ~(CACHELINE - 1)
             offset = (addr + pos) - line
-            n = min(CACHELINE - offset, len(data) - pos)
+            n = min(CACHELINE - offset, size - pos)
             # Core-side cost of pushing these bytes through the store queue
             # into the WC buffer.
-            yield self.sim.timeout(t.wc_line_fill_ns * n / CACHELINE)
-            for op in self.wc.store(addr + pos, data[pos : pos + n]):
-                yield self.chip.nb.submit_posted(op.addr, op.data, op.mask)
+            yield fill_ns if n == CACHELINE else fill_ns * n / CACHELINE
+            for op in wc.store(addr + pos, data[pos : pos + n]):
+                ev = nb.submit_posted(op.addr, op.data, op.mask)
+                if ev is not None:
+                    yield ev  # posted buffer full: wait for acceptance
             pos += n
 
     def _store_uc(self, addr: int, data: bytes):
@@ -98,18 +104,20 @@ class CpuCore:
             # Natural x86 store granule: up to the next 8-byte boundary.
             n = min(len(data) - pos, 8 - (a % 8))
             chunk = data[pos : pos + n]
-            yield self.sim.timeout(t.uc_store_ns)
+            yield t.uc_store_ns
             lo = (a // 4) * 4
             hi = ((a + n + 3) // 4) * 4
             if lo == a and hi == a + n:
-                yield self.chip.nb.submit_posted(a, chunk)
+                ev = self.chip.nb.submit_posted(a, chunk)
             else:
                 container = bytearray(hi - lo)
                 mask = bytearray(hi - lo)
                 container[a - lo : a - lo + n] = chunk
                 for i in range(a - lo, a - lo + n):
                     mask[i] = 1
-                yield self.chip.nb.submit_posted(lo, bytes(container), bytes(mask))
+                ev = self.chip.nb.submit_posted(lo, bytes(container), bytes(mask))
+            if ev is not None:
+                yield ev
             pos += n
 
     def _store_wb(self, addr: int, data: bytes):
@@ -123,7 +131,7 @@ class CpuCore:
                 f"{self.name}: WB store to {addr:#x} which is not local DRAM "
                 f"(route={r.kind.value}); remote memory must be mapped UC/WC"
             )
-        yield self.sim.timeout(t.wb_store_ns)
+        yield t.wb_store_ns
         caches = self.chip.caches
         pos = 0
         while pos < len(data):
@@ -140,7 +148,7 @@ class CpuCore:
                 caches.fill_line(line, bytes(current))
             pos += n
         # Write-through to DRAM (timed at the controller, not awaited).
-        self.chip.memctrl.write(self.chip.nb._local_offset(addr), data)
+        self.chip.memctrl.write_posted(self.chip.nb._local_offset(addr), data)
 
     # ------------------------------------------------------------------
     # Loads
@@ -172,7 +180,7 @@ class CpuCore:
             n = min(CACHELINE - offset, length - pos)
             cached, latency = caches.read_line(line)
             if cached is not None:
-                yield self.sim.timeout(latency)
+                yield latency
                 out += cached[offset : offset + n]
             else:
                 data = yield self.chip.nb.cpu_read(line, CACHELINE, uncached=False)
@@ -187,5 +195,7 @@ class CpuCore:
     def sfence(self):
         """Drain WC buffers and serialize prior stores."""
         for op in self.wc.flush():
-            yield self.chip.nb.submit_posted(op.addr, op.data, op.mask)
-        yield self.sim.timeout(self.chip.timing.sfence_drain_ns)
+            ev = self.chip.nb.submit_posted(op.addr, op.data, op.mask)
+            if ev is not None:
+                yield ev
+        yield self.chip.timing.sfence_drain_ns

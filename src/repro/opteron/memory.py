@@ -15,9 +15,9 @@ writes contend for the same device -- the paper notes that UC polling
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..sim import Event, Resource, Simulator, Tracer, NULL_TRACER
+from ..sim import Doorbell, Event, Simulator, Tracer, NULL_TRACER
 from ..util.calibration import TimingModel, DEFAULT_TIMING
 
 __all__ = ["Memory", "MemoryController", "MemoryError_"]
@@ -57,6 +57,12 @@ class Memory:
 
     def write(self, offset: int, data: bytes) -> None:
         self.check_range(offset, len(data))
+        pageno, inpage = divmod(offset, PAGE_SIZE)
+        if inpage + len(data) <= PAGE_SIZE:
+            # Fast path: the write stays inside one page (every cache-line
+            # sized transfer does).
+            self._page(pageno)[inpage : inpage + len(data)] = data
+            return
         pos = 0
         while pos < len(data):
             pageno, inpage = divmod(offset + pos, PAGE_SIZE)
@@ -80,6 +86,12 @@ class Memory:
 
     def read(self, offset: int, length: int) -> bytes:
         self.check_range(offset, length)
+        pageno, inpage = divmod(offset, PAGE_SIZE)
+        if inpage + length <= PAGE_SIZE:
+            page = self._pages.get(pageno)
+            if page is None:
+                return bytes(length)
+            return bytes(page[inpage : inpage + length])
         out = bytearray(length)
         pos = 0
         while pos < length:
@@ -98,7 +110,21 @@ class Memory:
 
 
 class MemoryController:
-    """DES-timed front end of a node's DRAM."""
+    """DES-timed front end of a node's DRAM.
+
+    The single command port is modeled arithmetically: requests are served
+    FCFS in submission order, each occupying the port for the transfer
+    time from ``max(now, busy_until)``, with the access latency pipelined
+    behind it.  This is timing-identical to a one-slot FCFS semaphore (the
+    pre-overhaul implementation) but costs one calendar entry per
+    operation instead of a coroutine plus a resource handshake -- the
+    controller sits on both hot paths (incoming TCCluster ring writes and
+    UC polling reads).
+
+    Data is sampled/committed at the *completion* time of the operation,
+    so in-flight reads observe writes that commit before they finish --
+    the same ordering the coroutine version produced.
+    """
 
     def __init__(
         self,
@@ -112,7 +138,10 @@ class MemoryController:
         self.timing = timing
         self.name = name
         self.tracer: Tracer = NULL_TRACER
-        self._port = Resource(sim, 1, name=f"{name}.port")
+        self._busy_until = 0.0
+        #: (lo, hi, doorbell) ranges rung when a write commits inside them
+        #: (the poll-parking notification hook; see msglib.endpoint).
+        self._watches: List[Tuple[int, int, Doorbell]] = []
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
@@ -121,34 +150,71 @@ class MemoryController:
     def _occupancy_ns(self, nbytes: int) -> float:
         return max(nbytes / DDR2_BYTES_PER_NS, 2.0)
 
+    def read_latency_ns(self, length: int, uncached: bool = True) -> float:
+        """Uncontended service time of a read (occupancy + access latency).
+
+        Poll parking uses this to reconstruct the virtual poll grid."""
+        base = self.timing.dram_read_uc_ns if uncached else self.timing.dram_read_ns
+        return self._occupancy_ns(length) + base
+
+    # -- write-commit notification ----------------------------------------
+    def watch(self, lo: int, hi: int, doorbell: Doorbell) -> None:
+        """Ring ``doorbell`` whenever a write commits into ``[lo, hi)``."""
+        if hi <= lo:
+            raise ValueError(f"empty watch range [{lo:#x}, {hi:#x})")
+        self._watches.append((lo, hi, doorbell))
+
+    def unwatch(self, doorbell: Doorbell) -> None:
+        self._watches = [w for w in self._watches if w[2] is not doorbell]
+
+    def _claim_port(self, nbytes: int) -> float:
+        """Reserve the command port FCFS; returns the transfer-end time."""
+        now = self.sim._now
+        start = self._busy_until if self._busy_until > now else now
+        self._busy_until = end = start + self._occupancy_ns(nbytes)
+        return end
+
     def write(self, offset: int, data: bytes, mask: Optional[bytes] = None) -> Event:
         """Timed write; the returned event fires when the data is in DRAM.
 
         ``mask`` selects byte enables (HT sized-byte writes).
         """
         done = self.sim.event(name=f"{self.name}.write")
-        self.sim.process(self._do_write(offset, bytes(data), mask, done))
-        return done
-
-    def _do_write(self, offset: int, data: bytes, mask: Optional[bytes],
-                  done: Event):
         # The port is held only for the transfer (bandwidth sharing); the
         # access latency is pipelined behind it, as in a real controller.
-        yield self._port.acquire()
-        try:
-            yield self.sim.timeout(self._occupancy_ns(len(data)))
-        finally:
-            self._port.release()
-        yield self.sim.timeout(self.timing.dram_write_ns)
+        complete = self._claim_port(len(data)) + self.timing.dram_write_ns
+        self.sim._push(complete, self._commit_write,
+                       (offset, bytes(data), mask, done))
+        return done
+
+    def write_posted(self, offset: int, data: bytes,
+                     mask: Optional[bytes] = None) -> None:
+        """Fire-and-forget timed write: commit timing and semantics are
+        identical to :meth:`write`, but no completion event is allocated
+        (the hot posted-write paths never wait on one, and a triggered
+        event with no callbacks still costs a calendar dispatch)."""
+        complete = self._claim_port(len(data)) + self.timing.dram_write_ns
+        self.sim._push(complete, self._commit_write,
+                       (offset, bytes(data), mask, None))
+
+    def _commit_write(self, offset: int, data: bytes, mask: Optional[bytes],
+                      done: Optional[Event]) -> None:
         if mask is None:
             self.memory.write(offset, data)
         else:
             self.memory.write_masked(offset, data, mask)
         self.writes += 1
         self.bytes_written += len(data)
-        self.tracer.emit(self.sim.now, self.name, "write_done",
-                         (offset, len(data)))
-        done.succeed()
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim._now, self.name, "write_done",
+                             (offset, len(data)))
+        if done is not None:
+            done.succeed()
+        if self._watches:
+            end = offset + len(data)
+            for lo, hi, db in self._watches:
+                if lo < end and offset < hi:
+                    db.ring()
 
     def read(self, offset: int, length: int, uncached: bool = True) -> Event:
         """Timed read; event value is the bytes.
@@ -157,17 +223,12 @@ class MemoryController:
         versus the ordinary cache-miss fill latency.
         """
         done = self.sim.event(name=f"{self.name}.read")
-        self.sim.process(self._do_read(offset, length, uncached, done))
+        base = self.timing.dram_read_uc_ns if uncached else self.timing.dram_read_ns
+        complete = self._claim_port(length) + base
+        self.sim._push(complete, self._commit_read, (offset, length, done))
         return done
 
-    def _do_read(self, offset: int, length: int, uncached: bool, done: Event):
-        yield self._port.acquire()
-        try:
-            yield self.sim.timeout(self._occupancy_ns(length))
-        finally:
-            self._port.release()
-        base = self.timing.dram_read_uc_ns if uncached else self.timing.dram_read_ns
-        yield self.sim.timeout(base)
+    def _commit_read(self, offset: int, length: int, done: Event) -> None:
         data = self.memory.read(offset, length)
         self.reads += 1
         self.bytes_read += length

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..ht.link import Link, LinkSide
 from ..ht.packet import Command, Packet, make_posted_write, make_read, make_read_response, make_target_done
@@ -81,6 +81,9 @@ class RouteResult:
     readable: bool = True
 
 
+_ROUTE_NONE = RouteResult(RouteKind.NONE)
+
+
 @dataclass(frozen=True)
 class _DramEntry:
     base: int
@@ -126,6 +129,14 @@ class Northbridge:
         self._mmio_entries: List[_MmioEntry] = []
         self._pending_reads: Dict[int, Event] = {}
         self._started = False
+        # Register-decode caches: the fabric data path hits nodeid / DRAM
+        # readiness / local-offset translation on every packet, and
+        # re-decoding BKDG bitfields per packet dominates profiles.  Any
+        # register write invalidates them (coarse but correct).
+        self._nodeid_cache: Optional[int] = None
+        self._dram_ready_cache: Optional[bool] = None
+        self._local_bases: Optional[List[Tuple[int, int, int]]] = None
+        self._route_table: Optional[List[tuple]] = None
         self.regs.add_write_hook(self._on_reg_write)
         self.reload_maps()
 
@@ -133,6 +144,10 @@ class Northbridge:
     # Register decode
     # ------------------------------------------------------------------
     def _on_reg_write(self, func: int, offset: int, value: int) -> None:
+        self._nodeid_cache = None
+        self._dram_ready_cache = None
+        self._local_bases = None
+        self._route_table = None
         if func == Function.ADDRESS_MAP:
             self.reload_maps()
 
@@ -157,6 +172,7 @@ class Northbridge:
         mmio.sort(key=lambda e: e.base)
         self._dram_entries = dram
         self._mmio_entries = mmio
+        self._route_table = None
 
     def validate(self) -> None:
         """Firmware sanity check: DRAM ranges must not overlap each other,
@@ -186,55 +202,79 @@ class Northbridge:
 
     @property
     def nodeid(self) -> int:
-        return NodeIDAccessor(self.regs).nodeid
+        nid = self._nodeid_cache
+        if nid is None:
+            nid = self._nodeid_cache = NodeIDAccessor(self.regs).nodeid
+        return nid
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def route(self, addr: int) -> RouteResult:
-        """Two-stage lookup: address map first, then routing table."""
+        """Two-stage lookup: address map first, then routing table.
+
+        The decode is register-pure, so every :class:`RouteResult` is
+        prebuilt once per map programming and shared between calls;
+        local DRAM results carry ``local_offset=None`` and consumers
+        that need the per-address offset call :meth:`_local_offset`.
+        """
+        tbl = self._route_table
+        if tbl is None:
+            tbl = self._route_table = self._build_route_table()
+        for base, limit, result, re_, we in tbl:
+            if base <= addr < limit:
+                return result
+        return _ROUTE_NONE
+
+    def _build_route_table(self) -> List[tuple]:
+        """Flatten the decoded maps into ``(base, limit, prebuilt, re, we)``
+        rows in lookup order (DRAM entries first, as the crossbar checks
+        them)."""
         my = self.nodeid
+        tbl: List[tuple] = []
         for e in self._dram_entries:
-            if e.base <= addr < e.limit:
-                if e.dst_node == my:
-                    return RouteResult(
-                        RouteKind.DRAM_LOCAL,
-                        dst_node=my,
-                        local_offset=self._local_offset(addr),
-                        readable=e.re,
-                        writable=e.we,
-                    )
-                return RouteResult(
-                    RouteKind.DRAM_REMOTE, dst_node=e.dst_node,
-                    readable=e.re, writable=e.we,
-                )
+            if e.dst_node == my:
+                # Shared result with local_offset=None: the per-address
+                # offset is computed by the (few) consumers that need it,
+                # so the packet-rate hot path allocates nothing.
+                tbl.append((e.base, e.limit,
+                            RouteResult(RouteKind.DRAM_LOCAL, dst_node=my,
+                                        readable=e.re, writable=e.we),
+                            e.re, e.we))
+            else:
+                tbl.append((e.base, e.limit,
+                            RouteResult(RouteKind.DRAM_REMOTE,
+                                        dst_node=e.dst_node,
+                                        readable=e.re, writable=e.we),
+                            e.re, e.we))
         for e in self._mmio_entries:
-            if e.base <= addr < e.limit:
-                if e.dst_node == my:
-                    return RouteResult(
-                        RouteKind.MMIO_LOCAL_LINK,
-                        dst_node=my,
-                        dst_link=e.dst_link,
-                        readable=e.re,
-                        writable=e.we,
-                    )
-                return RouteResult(
-                    RouteKind.MMIO_REMOTE, dst_node=e.dst_node,
-                    readable=e.re, writable=e.we,
-                )
-        return RouteResult(RouteKind.NONE)
+            if e.dst_node == my:
+                r = RouteResult(RouteKind.MMIO_LOCAL_LINK, dst_node=my,
+                                dst_link=e.dst_link,
+                                readable=e.re, writable=e.we)
+            else:
+                r = RouteResult(RouteKind.MMIO_REMOTE, dst_node=e.dst_node,
+                                readable=e.re, writable=e.we)
+            tbl.append((e.base, e.limit, r, e.re, e.we))
+        return tbl
 
     def _local_offset(self, addr: int) -> int:
         """Map a global address into this node's DRAM, accounting for
         multiple local ranges (offsets accumulate in base order)."""
-        my = self.nodeid
-        running = 0
-        for e in self._dram_entries:
-            if e.dst_node != my:
-                continue
-            if e.base <= addr < e.limit:
-                return running + (addr - e.base)
-            running += e.limit - e.base
+        bases = self._local_bases
+        if bases is None:
+            my = self.nodeid
+            bases = []
+            running = 0
+            for e in self._dram_entries:
+                if e.dst_node != my:
+                    continue
+                bases.append((e.base, e.limit, running))
+                running += e.limit - e.base
+            self._local_bases = bases
+        for base, limit, running in bases:
+            if base <= addr < limit:
+                return running + (addr - base)
         raise MasterAbort(f"{self.name}: address {addr:#x} is not local DRAM")
 
     def _route_mask_to_port(self, mask_value: int) -> Optional[int]:
@@ -261,17 +301,19 @@ class Northbridge:
     # CPU-side interface (the SRQ)
     # ------------------------------------------------------------------
     def submit_posted(self, addr: int, data: bytes,
-                      mask: Optional[bytes] = None) -> Event:
+                      mask: Optional[bytes] = None) -> Optional[Event]:
         """Accept a posted write from a core's WC/UC store path.
 
-        The returned event fires when the packet is accepted into the
-        posted buffer -- the point at which the store has 'left the
-        processor' and the core may retire it.  ``mask`` selects the
-        sized-byte write form.
+        Returns None when the packet is accepted into the posted buffer
+        immediately (the store has 'left the processor' and the core may
+        retire it); otherwise an event that fires on acceptance.  ``mask``
+        selects the sized-byte write form.
         """
         pkt = make_posted_write(addr, data, unitid=self.nodeid, coherent=True,
                                 mask=mask)
-        pkt.inject_time = self.sim.now
+        pkt.inject_time = self.sim._now
+        if self.posted_q.try_put(pkt):
+            return None
         return self.posted_q.put(pkt)
 
     def cpu_read(self, addr: int, length: int, uncached: bool = True) -> Event:
@@ -283,7 +325,7 @@ class Northbridge:
 
     def _do_cpu_read(self, addr: int, length: int, uncached: bool, done: Event):
         r = self.route(addr)
-        yield self.sim.timeout(self.timing.nb_request_ns)
+        yield self.timing.nb_request_ns
         if r.kind is RouteKind.NONE:
             done.fail(MasterAbort(f"{self.name}: read from unmapped {addr:#x}"))
             return
@@ -296,7 +338,9 @@ class Northbridge:
                     f"{self.name}: DRAM accessed before memory init"
                 ))
                 return
-            data = yield self.chip.memctrl.read(r.local_offset, length, uncached)
+            data = yield self.chip.memctrl.read(
+                self._local_offset(addr), length, uncached
+            )
             self.counters.inc("local_reads")
             done.succeed(data)
             return
@@ -340,7 +384,7 @@ class Northbridge:
         """Send a packet out of the MMIO destination link (IO bridge
         converts coherent -> non-coherent on the way)."""
         if pkt.coherent:
-            yield self.sim.timeout(self.timing.nb_iobridge_ns)
+            yield self.timing.nb_iobridge_ns
             pkt.coherent = False
         yield self._send_on_port(r.dst_link, pkt)
 
@@ -348,6 +392,16 @@ class Northbridge:
         binding = self.chip.ports.get(port)
         if binding is None:
             raise MasterAbort(f"{self.name}: no link attached at port {port}")
+        return binding.link.send(binding.side, pkt)
+
+    def _send_on_port_fast(self, port: int, pkt: Packet) -> Optional[Event]:
+        """Like :meth:`_send_on_port` but returns None when the TX queue
+        accepts the packet immediately (no Event allocated)."""
+        binding = self.chip.ports.get(port)
+        if binding is None:
+            raise MasterAbort(f"{self.name}: no link attached at port {port}")
+        if binding.link.try_send(binding.side, pkt):
+            return None
         return binding.link.send(binding.side, pkt)
 
     # ------------------------------------------------------------------
@@ -387,39 +441,59 @@ class Northbridge:
     def _dispatcher(self):
         """Drain the CPU posted queue into memory or the fabric."""
         t = self.timing
+        # Crossbar + IO-bridge latency taken as one sleep on the TCCluster
+        # transmit path: one calendar entry instead of two.  The route
+        # decode is register-pure (no virtual time passes in route()), so
+        # sampling it before the sleep is observationally identical.
+        tx_step = t.nb_request_ns + t.nb_iobridge_ns
         while True:
-            pkt = yield self.posted_q.get()
+            ok, pkt = self.posted_q.try_get()
+            if not ok:
+                pkt = yield self.posted_q.get()
             if self._m.enabled:
                 self._m.track(f"{self.name}.posted_q_depth",
                               self.sim.now, len(self.posted_q))
-            yield self.sim.timeout(t.nb_request_ns)
             r = self.route(pkt.addr)
             if not r.writable and r.kind is not RouteKind.NONE:
+                yield t.nb_request_ns
                 self.counters.inc("write_to_readonly")
                 continue
             if r.kind is RouteKind.DRAM_LOCAL:
+                yield t.nb_request_ns
                 if not self._dram_ready():
                     self.counters.inc("dram_uninitialized")
                     continue
-                self.chip.memctrl.write(r.local_offset, pkt.data, pkt.mask)
+                self.chip.memctrl.write_posted(self._local_offset(pkt.addr),
+                                               pkt.data, pkt.mask)
                 self.counters.inc("local_writes")
             elif r.kind is RouteKind.MMIO_LOCAL_LINK:
                 # The TCCluster transmit path: an MMIO window homed at this
                 # node whose DstLink points straight out of the chip.
-                yield from self._emit_mmio(pkt, r)
+                yield tx_step
+                pkt.coherent = False
+                ev = self._send_on_port_fast(r.dst_link, pkt)
+                if ev is not None:
+                    yield ev
                 self.counters.inc("mmio_writes")
             elif r.kind is RouteKind.DRAM_REMOTE:
+                yield t.nb_request_ns
                 port = self._fabric_port_for(r.dst_node)
-                yield self._send_on_port(port, pkt)
+                ev = self._send_on_port_fast(port, pkt)
+                if ev is not None:
+                    yield ev
                 self.counters.inc("fabric_writes")
             elif r.kind is RouteKind.MMIO_REMOTE:
                 # MMIO homed at another fabric node: one coherent hop
                 # first, counted apart from plain DRAM fabric writes.
+                yield t.nb_request_ns
                 port = self._fabric_port_for(r.dst_node)
-                yield self._send_on_port(port, pkt)
+                ev = self._send_on_port_fast(port, pkt)
+                if ev is not None:
+                    yield ev
                 self.counters.inc("fabric_writes")
                 self.counters.inc("mmio_remote_writes")
             else:
+                yield t.nb_request_ns
                 self.counters.inc("master_aborts")
 
     def _rx_loop(self, port: int):
@@ -428,9 +502,13 @@ class Northbridge:
         link, side = binding.link, binding.side
         t = self.timing
         while True:
-            pkt = yield link.receive(side)
+            # Fast path: a packet already waiting is consumed inline (the
+            # credit returns immediately instead of via a callback event).
+            ok, pkt = link.try_receive(side)
+            if not ok:
+                pkt = yield link.receive(side)
             if pkt.cmd is Command.BROADCAST:
-                yield self.sim.timeout(t.nb_request_ns)
+                yield t.nb_request_ns
                 self.broadcast(pkt, exclude_port=port)
                 self.counters.inc("broadcasts_received")
                 continue
@@ -439,55 +517,65 @@ class Northbridge:
                 continue
             r = self.route(pkt.addr)
             if r.kind is RouteKind.DRAM_LOCAL:
-                yield self.sim.timeout(t.nb_request_ns)
-                if not pkt.coherent:
-                    # IO bridge: non-coherent -> coherent conversion.
-                    yield self.sim.timeout(t.nb_iobridge_ns)
+                if pkt.coherent:
+                    yield t.nb_request_ns
+                else:
+                    # IO bridge: non-coherent -> coherent conversion,
+                    # folded into the crossbar sleep (one calendar entry).
+                    yield t.nb_request_ns + t.nb_iobridge_ns
                     pkt.coherent = True
                 yield from self._local_access(pkt, port)
             elif r.kind in (RouteKind.MMIO_LOCAL_LINK, RouteKind.MMIO_REMOTE,
                             RouteKind.DRAM_REMOTE):
-                yield self.sim.timeout(t.nb_forward_ns)
                 if r.kind is RouteKind.MMIO_LOCAL_LINK:
                     out_port = r.dst_link
                     if pkt.coherent:
-                        yield self.sim.timeout(t.nb_iobridge_ns)
+                        yield t.nb_forward_ns + t.nb_iobridge_ns
                         pkt.coherent = False
+                    else:
+                        yield t.nb_forward_ns
                 else:
+                    yield t.nb_forward_ns
                     out_port = self._fabric_port_for(r.dst_node)
                 if out_port == port:
                     self.counters.inc("routing_loops")
                     continue
-                yield self._send_on_port(out_port, pkt)
+                ev = self._send_on_port_fast(out_port, pkt)
+                if ev is not None:
+                    yield ev
                 self.counters.inc("forwarded")
             else:
                 self.counters.inc("master_aborts")
 
     def _dram_ready(self) -> bool:
-        from .registers import DramConfigAccessor
+        ready = self._dram_ready_cache
+        if ready is None:
+            from .registers import DramConfigAccessor
 
-        return DramConfigAccessor(self.regs).initialized
+            ready = self._dram_ready_cache = DramConfigAccessor(self.regs).initialized
+        return ready
 
-    def _local_access(self, pkt: Packet, port: int):
-        """Service a request that targets this node's DRAM."""
+    def _local_access(self, pkt: Packet, port: int,
+                      offset: Optional[int] = None):
+        """Service a request that targets this node's DRAM.  ``offset`` is
+        the already-routed local DRAM offset (recomputed if not given)."""
         t = self.timing
         if not self._dram_ready():
             self.counters.inc("dram_uninitialized")
             return
-        if pkt.is_write and pkt.cmd.is_posted:
+        if offset is None:
             offset = self._local_offset(pkt.addr)
-            self.chip.memctrl.write(offset, pkt.data, pkt.mask)
+        if pkt.is_write and pkt.cmd.is_posted:
+            self.chip.memctrl.write_posted(offset, pkt.data, pkt.mask)
             self.counters.inc("rx_writes")
             return
         if pkt.is_write:
-            offset = self._local_offset(pkt.addr)
             yield self.chip.memctrl.write(offset, pkt.data, pkt.mask)
             rsp = make_target_done(srctag=pkt.srctag, unitid=pkt.unitid)
             yield from self._route_response(rsp, port)
             self.counters.inc("rx_np_writes")
             return
         if pkt.cmd is Command.READ:
-            offset = self._local_offset(pkt.addr)
             data = yield self.chip.memctrl.read(offset, pkt.dword_count * 4,
                                                 uncached=False)
             rsp = make_read_response(data, srctag=pkt.srctag, unitid=pkt.unitid,
@@ -509,7 +597,7 @@ class Northbridge:
         yield self._send_on_port(port, rsp)
 
     def _handle_response(self, pkt: Packet, port: int):
-        yield self.sim.timeout(self.timing.nb_request_ns)
+        yield self.timing.nb_request_ns
         if pkt.unitid == self.nodeid:
             self._complete_or_misroute(pkt)
         else:

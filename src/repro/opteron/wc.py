@@ -54,6 +54,9 @@ class FlushOp:
             raise ValueError("mask/data length mismatch")
 
 
+_ALL_VALID = b"\x01" * CACHELINE
+
+
 class _Buffer:
     __slots__ = ("line_addr", "data", "valid")
 
@@ -64,16 +67,19 @@ class _Buffer:
 
     @property
     def full(self) -> bool:
-        return all(self.valid)
+        return self.valid == _ALL_VALID
 
     def fill(self, offset: int, data: bytes) -> None:
-        self.data[offset : offset + len(data)] = data
-        for i in range(offset, offset + len(data)):
-            self.valid[i] = 1
+        n = len(data)
+        self.data[offset : offset + n] = data
+        self.valid[offset : offset + n] = _ALL_VALID[:n]
 
     def drain_ops(self) -> List[FlushOp]:
         """Contiguous valid runs; ragged dword edges become byte-masked
         writes so only actually-stored bytes reach the fabric."""
+        if self.valid == _ALL_VALID:
+            # Fast path: the dominant full-line drain is a single op.
+            return [FlushOp(self.line_addr, bytes(self.data))]
         ops: List[FlushOp] = []
         i = 0
         while i < CACHELINE:
@@ -131,8 +137,16 @@ class WriteCombiner:
         return ops
 
     def _store_line(self, line: int, offset: int, data: bytes) -> List[FlushOp]:
-        ops: List[FlushOp] = []
         buf = self._buffers.get(line)
+        if (buf is None and offset == 0 and len(data) == CACHELINE
+                and len(self._buffers) < self.num_buffers):
+            # Aligned full-line store to a closed line with a buffer free:
+            # allocate-fill-drain collapses to a single posted write with
+            # no buffer state ever materialized (the streaming hot path).
+            self.fills += 1
+            self.full_flushes += 1
+            return [FlushOp(line, data)]
+        ops: List[FlushOp] = []
         if buf is None:
             if len(self._buffers) >= self.num_buffers:
                 # Overflow: evict the oldest open buffer.

@@ -7,11 +7,12 @@ from .engine import (
     Event,
     Interrupt,
     Process,
+    SimFeatures,
     SimulationError,
     Simulator,
     Timeout,
 )
-from .queues import Barrier, CreditPool, Gate, Resource, Store
+from .queues import Barrier, CreditPool, Doorbell, Gate, Resource, Store
 from .trace import (
     NULL_TRACER,
     Counter,
@@ -23,6 +24,7 @@ from .trace import (
 
 __all__ = [
     "Simulator",
+    "SimFeatures",
     "Event",
     "Timeout",
     "Process",
@@ -35,6 +37,7 @@ __all__ = [
     "Resource",
     "Barrier",
     "CreditPool",
+    "Doorbell",
     "Gate",
     "Tracer",
     "TraceRecord",

@@ -30,10 +30,13 @@ Example
 from __future__ import annotations
 
 import heapq
+from heapq import heappush as _heappush
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Simulator",
+    "SimFeatures",
     "Event",
     "Timeout",
     "Process",
@@ -43,6 +46,24 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
 ]
+
+
+@dataclass
+class SimFeatures:
+    """Runtime switches for the wall-clock fast paths.
+
+    All of them are virtual-time-invariant transformations (see
+    DESIGN.md, "Performance model equivalence"); they exist as flags so
+    the wall-clock benchmark and the equivalence tests can run the same
+    workload in legacy and fast mode and compare.
+    """
+
+    #: Park idle polling receivers on a memory doorbell instead of
+    #: burning one calendar entry per poll iteration.
+    poll_parking: bool = True
+    #: Serialize back-to-back same-VC link packets as one bulk occupancy
+    #: event with arithmetically computed delivery times.
+    burst_serialization: bool = True
 
 
 class SimulationError(RuntimeError):
@@ -76,7 +97,8 @@ class Event:
     generator.
     """
 
-    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_triggered", "name")
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_triggered", "_scheduled",
+                 "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -85,6 +107,10 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._triggered = False
+        #: True once a dispatch entry has been pushed onto the calendar.
+        #: Dispatch is lazy: a triggered event with no listeners costs no
+        #: calendar entry at all; the first add_callback schedules it.
+        self._scheduled = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -110,7 +136,9 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._schedule_event(self)
+        if self._callbacks:
+            self._scheduled = True
+            self.sim._schedule_event(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -122,7 +150,9 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exc
-        self.sim._schedule_event(self)
+        if self._callbacks:
+            self._scheduled = True
+            self.sim._schedule_event(self)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -131,12 +161,35 @@ class Event:
         If the event already triggered, the callback is scheduled
         immediately (at the current simulation time).
         """
-        if self._triggered and self._callbacks is None:
+        cbs = self._callbacks
+        if cbs is None:
             # Already dispatched: run at current time via the calendar so
             # ordering semantics stay uniform.
             self.sim.schedule(0.0, fn, self)
-        else:
-            self._callbacks.append(fn)
+            return
+        cbs.append(fn)
+        if self._triggered and not self._scheduled:
+            # Triggered with no listeners at the time: the dispatch was
+            # deferred; schedule it now that someone cares.
+            self._scheduled = True
+            self.sim._schedule_event(self)
+
+    def _succeed_inline(self, value: Any = None) -> None:
+        """:meth:`succeed` plus synchronous callback dispatch.
+
+        Only legal from a *bare calendar callback* with nothing left to
+        do at this timestamp: the caller's calendar entry stands in for
+        the dispatch entry the lazy ``succeed`` would push, so waking
+        synchronously is a seq shift within the timestamp, never a
+        timing change.  Saves one calendar entry per call on the
+        packet-delivery hot path.
+        """
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        if self._callbacks:
+            self._scheduled = True
+            self._dispatch()
 
     def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, None  # type: ignore[assignment]
@@ -156,11 +209,14 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # Note: the name is deliberately static -- an f-string per timeout
+        # shows up in profiles of packet-heavy runs.
+        super().__init__(sim, name="timeout")
         self.delay = delay
         self._triggered = True
         self._ok = True
         self._value = value
+        self._scheduled = True  # the dispatch entry IS the wake mechanism
         sim._schedule_event(self, delay)
 
 
@@ -238,7 +294,7 @@ class Process(Event):
     value, so processes can wait on each other.
     """
 
-    __slots__ = ("gen", "_waiting_on", "_interrupts")
+    __slots__ = ("gen", "_waiting_on", "_interrupts", "_wake_token")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
@@ -250,6 +306,7 @@ class Process(Event):
         self.gen = gen
         self._waiting_on: Optional[Event] = None
         self._interrupts: List[Interrupt] = []
+        self._wake_token = 0
         sim.schedule(0.0, self._resume, None, True)
 
     @property
@@ -270,10 +327,11 @@ class Process(Event):
         if self._triggered or not self._interrupts:
             return
         exc = self._interrupts.pop(0)
-        target, self._waiting_on = self._waiting_on, None
-        if target is not None:
-            # Stale wakeup protection: mark so _on_wait_done ignores it.
-            pass
+        # Stale wakeup protection: detaching from the wait event makes
+        # _on_wait_done ignore it, and bumping the token invalidates any
+        # fast-path sleep entry already sitting on the calendar.
+        self._waiting_on = None
+        self._wake_token += 1
         self._step(exc, throw=True)
 
     def _resume(self, value: Any, ok: bool) -> None:
@@ -303,20 +361,60 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} did not handle an Interrupt"
             )
+        # The two dominant yield kinds (plain sleeps and zero-delay steps)
+        # are handled inline -- one call frame per process step is real
+        # money at packet-stream scale.  ``type`` (not isinstance) keeps
+        # bool out and is faster on the exact-match hot path.
+        tt = type(target)
+        if tt is float or tt is int:
+            if target < 0:
+                raise ValueError(f"negative timeout delay: {target!r}")
+            sim = self.sim
+            self._wake_token = token = self._wake_token + 1
+            sim._seq += 1
+            sim._push_count += 1
+            _heappush(sim._heap,
+                      (sim._now + target, sim._seq, self._sleep_wake, (token,)))
+            return
+        if target is None:
+            sim = self.sim
+            self._wake_token = token = self._wake_token + 1
+            sim._seq += 1
+            sim._push_count += 1
+            _heappush(sim._heap,
+                      (sim._now, sim._seq, self._sleep_wake, (token,)))
+            return
         self._wait_for(target)
 
     def _wait_for(self, target: Any) -> None:
+        # Fast path: a numeric yield (or None for a zero-delay step) is a
+        # plain sleep.  Push the resume entry straight onto the calendar
+        # instead of allocating a Timeout plus a callback chain; the wake
+        # token invalidates the entry if an interrupt arrives first.
         if target is None:
-            target = Timeout(self.sim, 0.0)
-        elif isinstance(target, (int, float)):
-            target = Timeout(self.sim, float(target))
-        elif not isinstance(target, Event):
+            sim = self.sim
+            self._wake_token = token = self._wake_token + 1
+            sim._push(sim._now, self._sleep_wake, (token,))
+            return
+        if isinstance(target, (int, float)):
+            if target < 0:
+                raise ValueError(f"negative timeout delay: {target!r}")
+            sim = self.sim
+            self._wake_token = token = self._wake_token + 1
+            sim._push(sim._now + target, self._sleep_wake, (token,))
+            return
+        if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value "
                 f"{target!r} (expected Event, Process, number or None)"
             )
         self._waiting_on = target
         target.add_callback(self._on_wait_done)
+
+    def _sleep_wake(self, token: int) -> None:
+        if self._triggered or token != self._wake_token:
+            return  # stale entry (interrupted meanwhile)
+        self._step(None)
 
 
 class Simulator:
@@ -327,11 +425,13 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._heap: List[Tuple[float, int, Callable, Optional[tuple]]] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._event_count: int = 0
+        self._push_count: int = 0
         self._running = False
+        self.features = SimFeatures()
 
     # -- clock -----------------------------------------------------------
     @property
@@ -344,16 +444,28 @@ class Simulator:
         """Total number of calendar entries executed so far."""
         return self._event_count
 
+    @property
+    def heap_pushes(self) -> int:
+        """Total calendar entries ever pushed (the wall-clock cost driver)."""
+        return self._push_count
+
     # -- scheduling primitives --------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` time units."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._push(self._now + delay, fn, args)
+
+    def _push(self, at: float, fn: Callable, args: Optional[tuple]) -> None:
+        """Internal hot-path push: no validation, ``args`` may be None."""
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        self._push_count += 1
+        _heappush(self._heap, (at, self._seq, fn, args))
 
     def _schedule_event(self, ev: Event, delay: float = 0.0) -> None:
-        self.schedule(delay, ev._dispatch)
+        # No argument tuple to build or unpack for the (dominant) event
+        # dispatch entries.
+        self._push(self._now + delay, ev._dispatch, None)
 
     # -- factories ---------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -395,16 +507,22 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        executed = 0
         try:
-            executed = 0
-            while self._heap:
-                t, _seq, fn, args = self._heap[0]
+            while heap:
+                entry = heap[0]
+                t = entry[0]
                 if until is not None and t > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._now = t
-                self._event_count += 1
-                fn(*args)
+                args = entry[3]
+                if args:
+                    entry[2](*args)
+                else:
+                    entry[2]()
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
@@ -413,6 +531,9 @@ class Simulator:
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            # Batched: the counter is observability-only and read between
+            # runs, never from inside a calendar callback.
+            self._event_count += executed
             self._running = False
         return self._now
 
@@ -426,21 +547,28 @@ class Simulator:
         if self._running:
             raise SimulationError("run_until_event() is not reentrant")
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        executed = 0
         try:
-            while not ev.triggered:
-                if not self._heap:
+            while not ev._triggered:
+                if not heap:
                     raise DeadlockError(
                         f"no more events but {ev.name!r} never triggered"
                     )
-                t, _seq, fn, args = heapq.heappop(self._heap)
+                t, _seq, fn, args = heappop(heap)
                 if limit is not None and t > limit:
                     raise DeadlockError(
                         f"time limit {limit} exceeded waiting for {ev.name!r}"
                     )
                 self._now = t
-                self._event_count += 1
-                fn(*args)
+                if args:
+                    fn(*args)
+                else:
+                    fn()
+                executed += 1
         finally:
+            self._event_count += executed
             self._running = False
         if not ev.ok:
             raise ev.value

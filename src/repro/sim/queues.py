@@ -14,7 +14,7 @@ from typing import Any, Deque, Generator, List, Optional
 
 from .engine import Event, Simulator, SimulationError
 
-__all__ = ["Store", "Resource", "CreditPool", "Gate", "Barrier"]
+__all__ = ["Store", "Resource", "CreditPool", "Gate", "Barrier", "Doorbell"]
 
 
 class Store:
@@ -33,13 +33,36 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()  # (event, item)
+        # Capacity slots held by items popped *early* via get_deferred
+        # (the link burst fast path): virtual release times, ascending.
+        # Until a slot's time passes it still counts as occupied, so the
+        # early drain is invisible to (blocked or future) putters.
+        self._phantom: Deque[float] = deque()
+        self._phantom_wake_scheduled = False
+        # Event names are precomputed: put/get run once per packet per hop
+        # and per-call f-strings show up in profiles.
+        self._put_name = f"{name}.put"
+        self._get_name = f"{name}.get"
 
     def __len__(self) -> int:
         return len(self._items)
 
+    def _live_phantoms(self) -> int:
+        """Prune expired deferred-release slots; return those still held."""
+        ph = self._phantom
+        now = self.sim._now
+        while ph and ph[0] <= now:
+            ph.popleft()
+        return len(ph)
+
     @property
     def is_full(self) -> bool:
-        return self.capacity is not None and len(self._items) >= self.capacity
+        if self.capacity is None:
+            return False
+        n = len(self._items)
+        if self._phantom:
+            n += self._live_phantoms()
+        return n >= self.capacity
 
     @property
     def is_empty(self) -> bool:
@@ -47,29 +70,62 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Return an event that fires once ``item`` is accepted."""
-        ev = Event(self.sim, name=f"{self.name}.put")
-        if not self.is_full and not self._putters:
+        ev = Event(self.sim, name=self._put_name)
+        cap = self.capacity
+        if not self._putters and (
+            cap is None
+            or len(self._items)
+            + (self._live_phantoms() if self._phantom else 0)
+            < cap
+        ):
             self._items.append(item)
             ev.succeed()
-            self._wake_getter()
+            if self._getters:
+                self._wake_getter()
+        elif self._phantom and not self._putters:
+            # Full only because of deferred-release slots (a burst window
+            # in progress).  The acceptance time is already determined --
+            # the head slot frees at ``_phantom[0]`` -- and the only
+            # getter of a phantom-bearing store is the pump sleeping
+            # through that window, so appending the item *now* changes
+            # neither FIFO order nor occupancy (slot consumed, item
+            # added).  Trigger the put event Timeout-style: its dispatch
+            # entry IS the putter's wake, at the exact virtual time the
+            # per-packet pump would have accepted the item.
+            release = self._phantom.popleft()
+            self._items.append(item)
+            ev._triggered = True
+            ev._ok = True
+            ev._scheduled = True
+            self.sim._schedule_event(ev, release - self.sim._now)
         else:
             self._putters.append((ev, item))
+            if self._phantom:
+                self._schedule_phantom_wake()
         return ev
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False if the store is full."""
-        if self.is_full or self._putters:
+        cap = self.capacity
+        if self._putters or (
+            cap is not None
+            and len(self._items)
+            + (self._live_phantoms() if self._phantom else 0)
+            >= cap
+        ):
             return False
         self._items.append(item)
-        self._wake_getter()
+        if self._getters:
+            self._wake_getter()
         return True
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        ev = Event(self.sim, name=f"{self.name}.get")
+        ev = Event(self.sim, name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
-            self._admit_putter()
+            if self._putters:
+                self._admit_putter()
         else:
             self._getters.append(ev)
         return ev
@@ -79,8 +135,56 @@ class Store:
         if not self._items:
             return False, None
         item = self._items.popleft()
-        self._admit_putter()
+        if self._putters:
+            self._admit_putter()
         return True, item
+
+    def put_inline(self, item: Any) -> None:
+        """Put from a *bare calendar callback* as its final action.
+
+        A parked getter is resumed synchronously instead of via a
+        zero-delay dispatch entry -- the caller's calendar entry IS the
+        dispatch (a seq shift within the timestamp, not a timing
+        change).  Only valid on unbounded stores (the link rx ring),
+        where capacity back-pressure cannot apply.
+        """
+        assert self.capacity is None, "put_inline requires an unbounded store"
+        if self._getters:
+            self._getters.popleft()._succeed_inline(item)
+        else:
+            self._items.append(item)
+
+    def get_deferred(self, release_time: float) -> Any:
+        """Pop the head item now but keep its capacity slot occupied until
+        ``release_time`` (virtual).
+
+        The link burst fast path drains several queued packets in one
+        step; holding each slot until the moment the per-packet pump
+        would have popped that packet keeps the early drain invisible to
+        back-pressured senders (their ``put`` is accepted at the exact
+        same virtual time either way).  Returns ``None`` if empty.
+        """
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._phantom.append(release_time)
+        if self._putters:
+            self._schedule_phantom_wake()
+        return item
+
+    def _schedule_phantom_wake(self) -> None:
+        if self._phantom_wake_scheduled or not self._phantom:
+            return
+        self._phantom_wake_scheduled = True
+        delay = self._phantom[0] - self.sim._now
+        self.sim.schedule(delay if delay > 0.0 else 0.0, self._phantom_wake)
+
+    def _phantom_wake(self) -> None:
+        self._phantom_wake_scheduled = False
+        if self._putters:
+            self._admit_putter()
+            if self._putters and self._phantom:
+                self._schedule_phantom_wake()
 
     def peek(self) -> Any:
         """Look at the head item without removing it (raises if empty)."""
@@ -122,6 +226,7 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        self._acquire_name = f"{name}.acquire"
 
     @property
     def in_use(self) -> int:
@@ -132,13 +237,20 @@ class Resource:
         return self.capacity - self._in_use
 
     def acquire(self) -> Event:
-        ev = Event(self.sim, name=f"{self.name}.acquire")
+        ev = Event(self.sim, name=self._acquire_name)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             ev.succeed()
         else:
             self._waiters.append(ev)
         return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns False if it would have waited."""
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            return True
+        return False
 
     def release(self) -> None:
         if self._in_use <= 0:
@@ -170,6 +282,7 @@ class CreditPool:
         self.initial = initial
         self._credits = initial
         self._waiters: Deque[tuple] = deque()  # (event, amount)
+        self._take_name = f"{name}.take"
 
     @property
     def credits(self) -> int:
@@ -184,7 +297,7 @@ class CreditPool:
                 f"{self.name!r}: requesting {amount} credits but pool "
                 f"maximum is {self.initial} (would deadlock)"
             )
-        ev = Event(self.sim, name=f"{self.name}.take")
+        ev = Event(self.sim, name=self._take_name)
         if self._credits >= amount and not self._waiters:
             self._credits -= amount
             ev.succeed()
@@ -246,6 +359,53 @@ class Gate:
 
     def close(self) -> None:
         self._open = False
+
+
+class Doorbell:
+    """A monotone wakeup counter for event-driven polling.
+
+    A consumer that would otherwise busy-poll shared memory snapshots
+    :attr:`count`, checks the memory, and then waits on the snapshot::
+
+        seen = doorbell.count
+        ...inspect memory...
+        yield doorbell.wait(seen)   # fires on the next ring after `seen`
+
+    ``wait(seen)`` succeeds immediately if the counter already moved past
+    ``seen`` -- the compare-and-wait closes the lost-wakeup race where a
+    producer rings between the memory inspection and the park.  Producers
+    call :meth:`ring` on every relevant write; rings are never lost, only
+    coalesced (one wake may cover several rings).
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.count = 0
+        self._waiters: List[Event] = []
+
+    def ring(self) -> None:
+        """Signal waiters (and future ``wait(seen)`` calls) that the
+        watched state changed."""
+        self.count += 1
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for ev in waiters:
+                ev.succeed(self.count)
+
+    def wait(self, seen: int) -> Event:
+        """Event that fires (with the current count) once ``count`` has
+        advanced past the snapshot ``seen``."""
+        ev = Event(self.sim, name=f"{self.name}.wait")
+        if self.count != seen:
+            ev.succeed(self.count)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
 
 
 class Barrier:

@@ -178,12 +178,51 @@ def test_retry_consumes_extra_time_and_counts():
         assert done[0] > clean
 
 
-def test_retry_storm_brings_link_down():
+def test_retry_storm_drops_packet_but_keeps_vc_alive():
+    """A packet that exhausts max_retries is dropped -- it must NOT kill
+    the pump process or leak its flow-control credit (either would
+    deadlock the VC forever)."""
     sim = Simulator()
     link = make_active_link(sim, ber=1.0)
     link.send(LinkSide.A, make_posted_write(0x1000, b"\x00" * 4))
-    with pytest.raises(LinkDownError, match="retries"):
-        sim.run()
+    sim.run()  # must terminate (no retry-forever), and must not raise
+    stats = link.stats(LinkSide.A)
+    assert stats.drops == 1
+    assert stats.packets == 0
+    assert stats.retries == link.max_retries
+    # The credit taken for the doomed packet was returned.
+    d = link._dirs[LinkSide.A]
+    assert d.credits[VirtualChannel.POSTED].credits == link.credits_per_vc
+
+
+def test_high_ber_drops_do_not_deadlock_vc():
+    """Regression: under a high error rate, later packets still flow after
+    earlier ones are dropped (the pre-fix code killed the pump and leaked
+    one credit per drop)."""
+    sim = Simulator()
+    link = make_active_link(sim, ber=0.62, seed=7, credits_per_vc=2)
+    link.max_retries = 3  # make drops likely without a retry storm
+    got = []
+
+    def rx():
+        while True:
+            p = yield link.receive(LinkSide.B)
+            got.append(p.addr)
+
+    def tx():
+        for i in range(40):
+            yield link.send(LinkSide.A, make_posted_write(0x1000 + 4 * i, b"\x00" * 4))
+
+    sim.process(rx())
+    sim.process(tx())
+    sim.run(until=10_000_000.0)
+    stats = link.stats(LinkSide.A)
+    assert stats.drops > 0, "BER must actually cause drops for this test"
+    assert stats.packets == len(got)
+    assert stats.drops + stats.packets == 40
+    d = link._dirs[LinkSide.A]
+    # Every credit came back: none in flight, none leaked by drops.
+    assert d.credits[VirtualChannel.POSTED].credits == 2
 
 
 def test_set_rate_changes_serialization():

@@ -80,6 +80,32 @@ def test_random_message_streams_fifo_and_intact(sizes, slow, mode_strict):
     assert got == msgs
 
 
+def _ring_feasible_prefix(sizes, cfg):
+    """Longest prefix of ``sizes`` whose slot demand a send-all-then-recv
+    side can push without any peer acknowledgement.
+
+    Both fuzz sides send everything before receiving, and feedback is only
+    written from the receive path -- so an example where *both* directions
+    need more ring slots than are available deadlocks by design (the MPI
+    eager send-send pattern).  That is an application error, not a library
+    bug; the fuzz must generate workloads the protocol can complete.  Up
+    to ``fb_interval_slots - 1`` slots of acknowledgement debt may carry
+    over from the previous example on the shared system, so cap demand at
+    ``nslots`` minus that.
+    """
+    from repro.msglib.slots import slots_needed
+
+    budget = cfg.nslots - cfg.fb_interval_slots + 1
+    total = 0
+    keep = 0
+    for n in sizes:
+        total += 1 if n > cfg.eager_max else slots_needed(n)
+        if total > budget:
+            break
+        keep += 1
+    return sizes[: max(1, keep)]
+
+
 @given(seed_sizes=st.lists(st.integers(1, 2000), min_size=2, max_size=8))
 @settings(max_examples=8, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
@@ -87,6 +113,10 @@ def test_bidirectional_random_traffic(seed_sizes):
     """Both directions at once: independent rings never interfere."""
     sys_, tx, rx = shared_pair()
     sim = sys_.sim
+    cfg = tx.cfg
+    seed_sizes = _ring_feasible_prefix(seed_sizes, cfg)
+    seed_sizes = seed_sizes[: len(_ring_feasible_prefix(
+        [n + 5 for n in seed_sizes], cfg))]
     a_msgs = [bytes((7 * i + 1) % 256 for i in range(n)) for n in seed_sizes]
     b_msgs = [bytes((11 * i + 3) % 256 for i in range(n + 5))
               for n in seed_sizes]

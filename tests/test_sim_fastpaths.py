@@ -1,0 +1,252 @@
+"""Tests for the engine/link wall-clock fast paths (PR 2).
+
+Three families, matching the hot-path overhaul's risk surface:
+
+* lazy Event dispatch -- ``succeed()`` on a callback-less event pushes
+  nothing; ``add_callback`` must recover both the *deferred* (triggered,
+  never scheduled) and the *late* (already dispatched) cases,
+* the numeric-sleep fast path under interrupts (wake-token staleness),
+* poll parking and burst serialization as virtual-time-invariant
+  transformations (park/doorbell race, burst-vs-per-packet seeded fuzz).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.ht import Link, LinkSide, VirtualChannel, make_posted_write
+from repro.sim import Doorbell, Interrupt, Simulator
+
+
+# ---------------------------------------------------------------------------
+# Lazy event dispatch
+# ---------------------------------------------------------------------------
+
+def test_succeed_without_callbacks_pushes_nothing():
+    sim = Simulator()
+    ev = sim.event()
+    before = sim.heap_pushes
+    ev.succeed("v")
+    assert sim.heap_pushes == before, "callback-less succeed must be free"
+    assert ev.triggered and ev.ok and ev.value == "v"
+
+
+def test_add_callback_on_lazy_triggered_event_schedules_dispatch():
+    """Deferred path: triggered but never scheduled (no callbacks at
+    trigger time) -- the first add_callback must schedule the dispatch."""
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(41)
+    sim.run()  # nothing to do; the event is lazily triggered
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value + 1))
+    assert seen == [], "callback must run from the calendar, not inline"
+    sim.run()
+    assert seen == [42]
+
+
+def test_add_callback_after_dispatch_runs_late():
+    """Late path: the event has already *dispatched* its callback list
+    (``_callbacks`` consumed); a subsequent add_callback still runs, as a
+    fresh zero-delay calendar entry."""
+    sim = Simulator()
+    ev = sim.event()
+    order = []
+    ev.add_callback(lambda e: order.append("first"))
+    ev.succeed("v")
+    sim.run()  # dispatches "first"
+    assert order == ["first"]
+    ev.add_callback(lambda e: order.append(("late", e.value)))
+    assert order == ["first"], "late callback must not run inline"
+    sim.run()
+    assert order == ["first", ("late", "v")]
+
+
+def test_failed_lazy_event_raises_when_finally_awaited():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("deferred boom"))
+
+    def waiter():
+        yield ev
+
+    sim.process(waiter())
+    with pytest.raises(ValueError, match="deferred boom"):
+        sim.run()
+
+
+# ---------------------------------------------------------------------------
+# Numeric-sleep fast path vs interrupts
+# ---------------------------------------------------------------------------
+
+def test_interrupt_during_fastpath_sleep():
+    """An interrupt mid-way through ``yield <float>`` must (a) arrive at
+    the interrupt time, and (b) leave the now-stale calendar wake entry
+    inert -- the process resumes from its *new* sleep, not the old one."""
+    sim = Simulator()
+    resumes = []
+
+    def sleeper():
+        try:
+            yield 100.0
+            resumes.append(("uninterrupted", sim.now))
+        except Interrupt as i:
+            resumes.append(("interrupted", sim.now, i.cause))
+        yield 30.0  # re-sleep across the stale t=100 wake entry
+        resumes.append(("resleep", sim.now))
+
+    proc = sim.process(sleeper())
+    sim.schedule(50.0, proc.interrupt, "poke")
+    sim.run()
+    assert resumes == [
+        ("interrupted", 50.0, "poke"),
+        ("resleep", 80.0),
+    ]
+    assert not proc.is_alive
+
+
+def test_interrupt_during_zero_delay_step():
+    """Same staleness guard for the ``yield None`` zero-delay step: an
+    interrupt scheduled at the same timestamp must not double-wake."""
+    sim = Simulator()
+    log = []
+
+    def stepper():
+        yield 10.0
+        try:
+            yield None
+            log.append("stepped")
+        except Interrupt:
+            log.append("interrupted")
+        yield 5.0
+        log.append(("done", sim.now))
+
+    proc = sim.process(stepper())
+    # Delivered at t=10 with a lower seq than the process's own step wake.
+    sim.schedule(10.0, proc.interrupt)
+    sim.run()
+    assert log == ["interrupted", ("done", 15.0)]
+
+
+# ---------------------------------------------------------------------------
+# Park / doorbell
+# ---------------------------------------------------------------------------
+
+def test_doorbell_ring_between_snapshot_and_wait_not_lost():
+    """The lost-wakeup race the compare-and-wait closes: a producer rings
+    after the consumer snapshots the count but before it parks."""
+    sim = Simulator()
+    db = Doorbell(sim, "db")
+    seen = db.count
+    db.ring()  # racing producer
+    ev = db.wait(seen)
+    assert ev.triggered, "ring between snapshot and wait must not be lost"
+
+
+def test_doorbell_coalesces_but_never_loses_rings():
+    sim = Simulator()
+    db = Doorbell(sim, "db")
+    wakes = []
+
+    def consumer():
+        while len(wakes) < 2:
+            seen = db.count
+            yield db.wait(seen)
+            wakes.append((sim.now, db.count))
+
+    sim.process(consumer())
+    sim.schedule(5.0, db.ring)
+    sim.schedule(5.0, db.ring)   # same-timestamp burst: coalesced
+    sim.schedule(9.0, db.ring)
+    sim.run()
+    assert wakes == [(5.0, 2), (9.0, 3)]
+
+
+def test_parked_receiver_wakes_for_concurrent_send():
+    """End-to-end park/doorbell: a receiver idle long enough to park must
+    wake for a message sent while it is parked, at the same virtual time
+    (quantized to the poll grid) a busy-polling receiver would see it."""
+    from repro.core import TCClusterSystem
+
+    def run(parking: bool):
+        sys_ = TCClusterSystem.two_board_prototype()
+        sys_.sim.features.poll_parking = parking
+        sys_.boot()
+        cl = sys_.cluster
+        a, b = cl.rank_of(0, 1), cl.rank_of(1, 1)
+        tx, rx = sys_.connect(a, b)
+        sim = sys_.sim
+        got = []
+
+        def receiver():
+            got.append(((yield from rx.recv()), sim.now))
+
+        def sender():
+            yield 300_000.0  # receiver is parked long before this
+            yield from tx.send(b"wake-up" * 9)
+            yield from tx.flush()
+
+        sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert got and got[0][0] == b"wake-up" * 9
+        return got[0][1], rx.stats.park_wakes
+
+    t_parked, wakes_parked = run(parking=True)
+    t_polled, wakes_polled = run(parking=False)
+    assert wakes_parked >= 1, "the idle window must actually park"
+    assert wakes_polled == 0
+    assert t_parked == t_polled, "parking moved the receive completion time"
+
+
+# ---------------------------------------------------------------------------
+# Burst serialization equivalence (seeded fuzz)
+# ---------------------------------------------------------------------------
+
+def _run_stream(burst: bool, seed: int):
+    """Drive a random posted-write stream through a clean link; return
+    (delivery records, LinkStats) for equivalence comparison."""
+    rng = random.Random(seed)
+    sizes = [rng.choice((4, 8, 32, 64)) for _ in range(120)]
+    gaps = [rng.choice((0.0, 0.0, 0.0, 5.0, 500.0)) for _ in sizes]
+
+    sim = Simulator()
+    sim.features.burst_serialization = burst
+    link = Link(sim, "l0")
+    link.activate("noncoherent")
+    deliveries = []
+
+    def rx():
+        while len(deliveries) < len(sizes):
+            p = yield link.receive(LinkSide.B)
+            deliveries.append((sim.now, p.addr, len(p.data)))
+
+    def tx():
+        for i, (n, gap) in enumerate(zip(sizes, gaps)):
+            if gap:
+                yield gap
+            yield link.send(
+                LinkSide.A, make_posted_write(0x1000 + 64 * i, bytes([i % 255 + 1]) * n)
+            )
+
+    sim.process(rx())
+    sim.process(tx())
+    sim.run()
+    assert len(deliveries) == len(sizes)
+    return deliveries, link.stats(LinkSide.A)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+def test_burst_vs_per_packet_identical(seed):
+    d_burst, s_burst = _run_stream(burst=True, seed=seed)
+    d_plain, s_plain = _run_stream(burst=False, seed=seed)
+    assert d_burst == d_plain, "burst path moved a delivery timestamp"
+    for f in dataclasses.fields(s_burst):
+        if f.name == "bursts":
+            continue
+        assert getattr(s_burst, f.name) == getattr(s_plain, f.name), (
+            f"LinkStats.{f.name} differs between burst and per-packet"
+        )
+    assert s_burst.bursts > 0, "fuzz stream never exercised the burst path"
+    assert s_plain.bursts == 0

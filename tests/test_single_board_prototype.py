@@ -41,10 +41,13 @@ def test_alias_window_routing(proto):
     r = nb0.route(proto.alias_base + 0x40)
     assert r.kind is RouteKind.MMIO_LOCAL_LINK
     assert r.dst_link == 2
-    # node1 claims the same window as local DRAM
+    # node1 claims the same window as local DRAM; the route result is a
+    # shared row (local_offset=None) and the per-address offset comes
+    # from the translation helper.
     r1 = proto.node1.nb.route(proto.alias_base + 0x40)
     assert r1.kind is RouteKind.DRAM_LOCAL
-    assert r1.local_offset == M256 + 0x40
+    assert r1.local_offset is None
+    assert proto.node1.nb._local_offset(proto.alias_base + 0x40) == M256 + 0x40
 
 
 def test_store_loops_over_tcc_into_node1_memory(proto):
