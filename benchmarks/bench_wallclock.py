@@ -13,6 +13,13 @@ model's accuracy.  Three scenarios:
   park/doorbell path should make this near-free).
 * ``fig6_4mib_weak`` -- the heaviest single figure point: one 4 MiB
   weakly-ordered bandwidth sweep.
+* ``fig6_full_sweep`` -- the whole Figure 6 grid (17 sizes x 2 modes),
+  run serially and through the ``repro.sim.parallel`` process-pool
+  runner (``--jobs``); the ratio is the sweep-level scale-out win.
+* ``mesh_4x4``      -- the ROADMAP scale-out scenario: a 16-blade mesh
+  with eight link-disjoint 512 KiB bulk transfers, run with the
+  adaptive-fidelity bulk-train fast path off (per-packet baseline) and
+  on; gated on the deterministic event count of the adaptive run.
 
 Emits ``BENCH_wallclock.json`` (repo root by default) with runtime,
 events executed, heap pushes, and events/sec per scenario, plus speedups
@@ -35,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -43,7 +51,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import TCClusterSystem
 from repro.obs.scenarios import run_canonical_2node
-from repro.util.units import MiB
+from repro.util.units import KiB, MiB
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -66,6 +74,9 @@ SEED_BASELINE = {
 #: Repeats for the fig6 wall-clock measurement (best-of-N); the other
 #: two scenarios are gated on deterministic event counts, not time.
 FIG6_REPEATS = 3
+
+#: Bytes each of the eight link-disjoint mesh pairs bulk-stores.
+MESH_TRANSFER = 512 * KiB
 
 
 def bench_canonical():
@@ -145,6 +156,108 @@ def bench_fig6_4mib():
     }
 
 
+def bench_fig6_full_sweep(jobs):
+    """The entire Figure 6 grid, serial vs process-pool fan-out.
+
+    Both passes go through the same per-point machinery (a fresh booted
+    prototype per point, largest transfers scheduled first) so the ratio
+    isolates the pool, not a workload difference.
+    """
+    from repro.bench.microbench import DEFAULT_BW_SIZES
+    from repro.bench.sweep_points import run_bandwidth_sweep_parallel
+
+    sizes = tuple(DEFAULT_BW_SIZES)
+    t0 = time.perf_counter()
+    serial = run_bandwidth_sweep_parallel(sizes=sizes, jobs=1)
+    serial_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_bandwidth_sweep_parallel(sizes=sizes, jobs=jobs)
+    parallel_wall = time.perf_counter() - t0
+
+    assert [(p.size, p.mode, p.mbps) for p in serial] == \
+        [(p.size, p.mode, p.mbps) for p in parallel], \
+        "parallel sweep diverged from serial results"
+    usable = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    out = {
+        "points": len(serial),
+        "jobs": jobs,
+        "usable_cpus": usable,
+        "serial_runtime_s": round(serial_wall, 4),
+        "parallel_runtime_s": round(parallel_wall, 4),
+        "speedup_x": round(serial_wall / parallel_wall, 2),
+    }
+    if usable < min(jobs, len(serial)):
+        out["note"] = (
+            f"pool speedup is bounded by usable CPUs ({usable}); the "
+            f"independent-point fan-out itself scales to min(jobs, points)"
+        )
+    return out
+
+
+def _run_mesh(adaptive: bool):
+    from repro.bench.microbench import _RawWindow
+    from repro.topology import mesh2d
+
+    sys_ = TCClusterSystem(mesh2d(4, 4))
+    sys_.sim.features.adaptive_fidelity = adaptive
+    sys_.boot()
+    cl = sys_.cluster
+    sim = sys_.sim
+    # Row-major numbering: (2k, 2k+1) are horizontal neighbours, so the
+    # eight pairs use eight distinct links -- no two transfers contend.
+    pairs = [(i, i + 1) for i in range(0, 16, 2)]
+    wins = [_RawWindow(cl, a, b) for a, b in pairs]
+    data = bytes(range(256)) * (MESH_TRANSFER // 256)
+
+    def xfer(win):
+        yield from win.proc.store(win.tx_base, data)
+        yield from win.proc.core.sfence()
+
+    e0, p0 = sim.event_count, sim.heap_pushes
+    t0 = time.perf_counter()
+    procs = [sim.process(xfer(w)) for w in wins]
+    sim.run_until_event(sim.all_of(procs))
+    sim.run()
+    wall = time.perf_counter() - t0
+
+    # Model sanity: every destination holds the transferred bytes.
+    window_off = wins[0].tx_base - cl.ranks[pairs[0][1]].base
+    for (a, b) in pairs:
+        got = cl.ranks[b].chip.memctrl.memory.read(window_off, len(data))
+        assert got == data, f"mesh transfer {a}->{b} corrupted"
+
+    trains = sum(cl.ranks[a].chip.nb.counters.get("train_windows")
+                 for a, _ in pairs)
+    return {
+        "runtime_s": round(wall, 4),
+        "events": sim.event_count - e0,
+        "heap_pushes": sim.heap_pushes - p0,
+        "virtual_ns": round(sim.now, 1),
+        "train_windows": trains,
+    }
+
+
+def bench_mesh_4x4():
+    per_packet = _run_mesh(adaptive=False)
+    adaptive = _run_mesh(adaptive=True)
+    assert per_packet["virtual_ns"] == adaptive["virtual_ns"], (
+        "adaptive fidelity changed mesh virtual time: "
+        f"{per_packet['virtual_ns']} vs {adaptive['virtual_ns']}"
+    )
+    assert per_packet["train_windows"] == 0
+    assert adaptive["train_windows"] >= 8, "bulk trains never engaged"
+    return {
+        "pairs": 8,
+        "transfer_bytes": MESH_TRANSFER,
+        "per_packet": per_packet,
+        "adaptive": adaptive,
+        "speedup_x": round(per_packet["runtime_s"] / adaptive["runtime_s"], 2),
+        "events_x": round(per_packet["events"] / adaptive["events"], 2),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -158,15 +271,29 @@ def main(argv=None) -> int:
         type=pathlib.Path,
         default=None,
         metavar="BASELINE_JSON",
-        help="fail if canonical-trace events executed exceeds the "
-        "recorded count in this file (CI regression gate)",
+        help="fail if canonical-trace (or mesh scenario) events executed "
+        "exceeds the recorded count in this file (CI regression gate)",
+    )
+    ap.add_argument(
+        "--jobs",
+        default=None,
+        help="worker processes for the fig6 full-sweep scenario "
+        "(default: TCC_PARALLEL or 4; 0/'auto' = all cores)",
     )
     args = ap.parse_args(argv)
+
+    from repro.sim.parallel import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs) if args.jobs is not None else (
+        resolve_jobs() if "TCC_PARALLEL" in os.environ else 4
+    )
 
     scenarios = {
         "canonical_2node": bench_canonical(),
         "idle_poll": bench_idle_poll(),
         "fig6_4mib_weak": bench_fig6_4mib(),
+        "fig6_full_sweep": bench_fig6_full_sweep(jobs),
+        "mesh_4x4": bench_mesh_4x4(),
     }
 
     seed = SEED_BASELINE
@@ -183,6 +310,8 @@ def main(argv=None) -> int:
             / canon["pushes_per_packet"],
             2,
         ),
+        "fig6_sweep_parallel_x": scenarios["fig6_full_sweep"]["speedup_x"],
+        "mesh_adaptive_fidelity_x": scenarios["mesh_4x4"]["speedup_x"],
     }
 
     report = {
@@ -204,17 +333,29 @@ def main(argv=None) -> int:
 
     if args.check_baseline is not None:
         baseline = json.loads(args.check_baseline.read_text())
-        limit = baseline["canonical_events_max"]
-        got = canon["events"]
-        if got > limit:
-            print(
-                f"FAIL: canonical trace executed {got} calendar entries, "
-                f"baseline allows at most {limit} "
-                f"(recorded in {args.check_baseline})",
-                file=sys.stderr,
-            )
+        gates = [
+            ("canonical_events_max", canon["events"], "canonical trace"),
+            ("mesh_events_max",
+             scenarios["mesh_4x4"]["adaptive"]["events"],
+             "mesh_4x4 adaptive scenario"),
+        ]
+        failed = False
+        for key, got, label in gates:
+            limit = baseline.get(key)
+            if limit is None:
+                continue
+            if got > limit:
+                print(
+                    f"FAIL: {label} executed {got} calendar entries, "
+                    f"baseline allows at most {limit} "
+                    f"(recorded in {args.check_baseline})",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(f"baseline gate OK: {label} events {got} <= {limit}")
+        if failed:
             return 1
-        print(f"baseline gate OK: canonical events {got} <= {limit}")
     return 0
 
 

@@ -1,0 +1,198 @@
+"""Module-level, picklable sweep-point functions for the parallel runner.
+
+Each function here builds a **fresh** deterministic system, runs exactly
+one evaluation point, and returns a picklable dataclass -- the unit of
+work :mod:`repro.sim.parallel` fans out across worker processes.  The
+serial sweep drivers in :mod:`repro.bench.microbench` et al. stay the
+reference implementations; the ``*_parallel`` wrappers below produce the
+same points in the same order, just computed out-of-process.
+
+Every point is independent by construction (no shared virtual clock, no
+shared system), which is what makes the fan-out safe: a fresh
+two-board prototype booted from cold reaches the same drained quiescent
+state the serial sweep restores between points, so per-point virtual
+times are identical either way (asserted by
+``tests/test_parallel_sweep.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.parallel import PointPayload, SweepPoint, run_sweep
+from ..util.units import CACHELINE
+from .coherence_bench import CoherenceScalePoint, run_coherence_scaling
+from .microbench import (
+    BandwidthPoint,
+    HopPoint,
+    _RawWindow,
+    _echo,
+    _pingpong,
+    make_prototype,
+    run_bandwidth_sweep,
+)
+
+__all__ = [
+    "fig6_point",
+    "multihop_point",
+    "coherence_point",
+    "run_bandwidth_sweep_parallel",
+    "run_multihop_parallel",
+    "run_coherence_scaling_parallel",
+]
+
+#: Socket bindings per extra-hop count, as in ``run_multihop``.
+_HOP_BINDINGS: Tuple[Tuple[int, int], ...] = ((1, 1), (0, 1), (0, 0))
+
+
+def _maybe_metrics(sim, with_metrics: bool):
+    if not with_metrics:
+        return None
+    from ..obs.metrics import enable_metrics
+
+    return enable_metrics(sim)
+
+
+def fig6_point(size: int, mode: str, with_metrics: bool = False) -> Any:
+    """One Figure 6 bandwidth point on a fresh booted prototype."""
+    sys_ = make_prototype()
+    reg = _maybe_metrics(sys_.sim, with_metrics)
+    pts = run_bandwidth_sweep(sizes=(size,), modes=(mode,), system=sys_)
+    point = pts[0]
+    if reg is not None:
+        return PointPayload(point, reg.snapshot(sys_.sim.now))
+    return point
+
+
+def multihop_point(extra_hops: int, iters: int = 40, size: int = 64,
+                   with_metrics: bool = False) -> Any:
+    """One multi-hop latency point (fresh prototype, numactl binding)."""
+    chip_a, chip_b = _HOP_BINDINGS[extra_hops]
+    sys_ = make_prototype()
+    reg = _maybe_metrics(sys_.sim, with_metrics)
+    cluster = sys_.cluster
+    a = cluster.rank_of(0, chip_a)
+    b = cluster.rank_of(1, chip_b)
+    win_a = _RawWindow(cluster, a, b)
+    win_b = _RawWindow(cluster, b, a)
+    out: Dict = {}
+    cluster.sim.process(_echo(win_b, size, iters))
+    done = cluster.sim.process(_pingpong(win_a, win_b, size, iters, out))
+    cluster.sim.run_until_event(done)
+    point = HopPoint(extra_hops, out["elapsed"] / (2 * iters))
+    if reg is not None:
+        return PointPayload(point, reg.snapshot(sys_.sim.now))
+    return point
+
+
+def coherence_point(protocol: str, nodes: int, ops_per_node: int = 60,
+                    **kwargs) -> CoherenceScalePoint:
+    """One coherence-scaling point (its own Simulator per call)."""
+    return run_coherence_scaling(
+        node_counts=(nodes,), protocols=(protocol,),
+        ops_per_node=ops_per_node, **kwargs,
+    )[0]
+
+
+# ---------------------------------------------------------------------------
+# Parallel sweep wrappers (serial-order outputs, size-descending schedule)
+# ---------------------------------------------------------------------------
+
+def _run_points(points: List[SweepPoint], order: List[str],
+                jobs: Optional[Any], timeout: Optional[float]) -> Dict[str, Any]:
+    report = run_sweep(points, jobs=jobs, timeout=timeout)
+    by_key = {r.key: r.unwrap() for r in report.results}
+    return {k: by_key[k] for k in order}
+
+
+def run_bandwidth_sweep_parallel(
+    sizes: Sequence[int],
+    modes: Sequence[str] = ("weak", "strict"),
+    jobs: Optional[Any] = None,
+    timeout: Optional[float] = None,
+    with_metrics: bool = False,
+) -> List[BandwidthPoint]:
+    """Figure 6 sweep, one fresh system per point, pool fan-out.
+
+    Output order matches ``run_bandwidth_sweep`` (mode-major); the
+    *schedule* submits the largest transfers first so the long points do
+    not straggle at the tail of the pool.
+    """
+    for s in sizes:
+        if s % CACHELINE:
+            raise ValueError(f"size {s} not line aligned")
+    order = [f"fig6:{mode}:{size}" for mode in modes for size in sizes]
+    points = [
+        SweepPoint(
+            key=f"fig6:{mode}:{size}",
+            fn=fig6_point,
+            args=(size, mode),
+            kwargs={"with_metrics": with_metrics},
+        )
+        for mode in modes
+        for size in sizes
+    ]
+    points.sort(key=lambda p: p.args[0], reverse=True)
+    by_key = _run_points(points, order, jobs, timeout)
+    return [by_key[k] for k in order]
+
+
+def run_multihop_parallel(
+    iters: int = 40,
+    size: int = 64,
+    jobs: Optional[Any] = None,
+    timeout: Optional[float] = None,
+) -> List[HopPoint]:
+    """Multi-hop sweep (0/1/2 extra hops), pool fan-out."""
+    order = [f"hops:{extra}" for extra in range(len(_HOP_BINDINGS))]
+    points = [
+        SweepPoint(key=f"hops:{extra}", fn=multihop_point,
+                   args=(extra,), kwargs={"iters": iters, "size": size})
+        for extra in range(len(_HOP_BINDINGS))
+    ]
+    by_key = _run_points(points, order, jobs, timeout)
+    return [by_key[k] for k in order]
+
+
+def run_coherence_scaling_parallel(
+    node_counts: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    protocols: Sequence[str] = ("broadcast", "directory"),
+    ops_per_node: int = 60,
+    jobs: Optional[Any] = None,
+    timeout: Optional[float] = None,
+    timing=None,
+    **kwargs,
+) -> List[CoherenceScalePoint]:
+    """Coherence scaling sweep, pool fan-out, serial output order.
+
+    Only the DES-simulated protocols fan out; the analytical TCCluster
+    equivalents are appended locally, exactly as the serial sweep does.
+    """
+    from ..util.calibration import DEFAULT_TIMING
+    from .coherence_bench import tcc_op_latency_ns
+
+    t = timing or DEFAULT_TIMING
+    if timing is not None:
+        kwargs["timing"] = timing
+    order = [f"coh:{p}:{n}" for p in protocols for n in node_counts]
+    points = [
+        SweepPoint(
+            key=f"coh:{protocol}:{n}",
+            fn=coherence_point,
+            args=(protocol, n),
+            kwargs={"ops_per_node": ops_per_node, **kwargs},
+        )
+        for protocol in protocols
+        for n in node_counts
+    ]
+    # Biggest node counts dominate runtime; schedule them first.
+    points.sort(key=lambda p: p.args[1], reverse=True)
+    by_key = _run_points(points, order, jobs, timeout)
+    out = [by_key[k] for k in order]
+    for n in node_counts:
+        lat = tcc_op_latency_ns(n, t)
+        out.append(
+            CoherenceScalePoint(n, "tccluster", n * ops_per_node, lat, 0.0,
+                                lat * ops_per_node)
+        )
+    return out

@@ -121,6 +121,9 @@ class _Direction:
         self.rx: Store = Store(sim, capacity=None, name=f"{link.name}.{self.rx_side}.rx")
         self.phy = Resource(sim, 1, name=f"{link.name}.{tx_side}.phy")
         self.stats = LinkStats()
+        #: Active aggregate-fidelity packet train owning this direction
+        #: (repro.opteron.train); foreign sends demote it first.
+        self._train = None
         for vc in VirtualChannel:
             sim.process(self._pump(vc), name=f"{link.name}.{tx_side}.pump.{vc.name}")
 
@@ -324,12 +327,18 @@ class Link:
         """
         if self.state != LinkState.ACTIVE:
             raise LinkDownError(f"link {self.name} is {self.state}")
-        return self._dirs[side].txq[pkt.vc].put(pkt)
+        d = self._dirs[side]
+        if d._train is not None:
+            d._train.abort(self.sim._now)
+        return d.txq[pkt.vc].put(pkt)
 
     def try_send(self, side: str, pkt: Packet) -> bool:
         if self.state != LinkState.ACTIVE:
             raise LinkDownError(f"link {self.name} is {self.state}")
-        return self._dirs[side].txq[pkt.vc].try_put(pkt)
+        d = self._dirs[side]
+        if d._train is not None:
+            d._train.abort(self.sim._now)
+        return d.txq[pkt.vc].try_put(pkt)
 
     def receive(self, side: str) -> Event:
         """Event yielding the next :class:`Packet` arriving at ``side``.
@@ -382,6 +391,7 @@ class Link:
         self.link_type = link_type
 
     def bring_down(self) -> None:
+        self._abort_trains()
         self.state = LinkState.DOWN
         self.link_type = None
 
@@ -391,8 +401,29 @@ class Link:
             raise ValueError(f"illegal link width {width_bits}")
         if gbit_per_lane <= 0:
             raise ValueError(f"illegal lane rate {gbit_per_lane}")
+        self._abort_trains()
         self.width_bits = width_bits
         self.gbit_per_lane = gbit_per_lane
+
+    # -- adaptive fidelity ------------------------------------------------
+    @property
+    def ber(self) -> float:
+        return self._ber
+
+    @ber.setter
+    def ber(self, value: float) -> None:
+        # A mid-window error-rate change invalidates an aggregate train's
+        # retry-free schedule (__init__ assigns before _dirs exists).
+        self._ber = value
+        if value > 0 and getattr(self, "_dirs", None):
+            self._abort_trains()
+
+    def _abort_trains(self) -> None:
+        """Demote any aggregate-fidelity train before a link-level change
+        (rate, state, error injection) invalidates its schedule."""
+        for d in self._dirs.values():
+            if d._train is not None:
+                d._train.abort(self.sim._now)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

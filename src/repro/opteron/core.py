@@ -29,7 +29,10 @@ from ..sim import Event
 from ..util.units import CACHELINE
 from .mtrr import MemoryType
 from .northbridge import RouteKind
+from .train import MIN_TRAIN_LINES, plan_train
 from .wc import WriteCombiner
+
+_MIN_TRAIN_BYTES = MIN_TRAIN_LINES * CACHELINE
 
 if TYPE_CHECKING:  # pragma: no cover
     from .chip import OpteronChip
@@ -80,6 +83,14 @@ class CpuCore:
         wc = self.wc
         pos = 0
         size = len(data)
+        if (size >= _MIN_TRAIN_BYTES and addr % CACHELINE == 0
+                and self.sim.features.adaptive_fidelity):
+            # Bulk aligned WC store over a quiescent TCCluster window:
+            # collapse the packet train to closed-form arithmetic
+            # (repro.opteron.train); falls back per-packet on demotion.
+            train = plan_train(self, addr, data)
+            if train is not None:
+                pos = yield from train.run()
         while pos < size:
             line = (addr + pos) & ~(CACHELINE - 1)
             offset = (addr + pos) - line

@@ -129,6 +129,9 @@ class Northbridge:
         self._mmio_entries: List[_MmioEntry] = []
         self._pending_reads: Dict[int, Event] = {}
         self._started = False
+        #: Active aggregate-fidelity packet train (repro.opteron.train);
+        #: any foreign submit while one is running demotes it first.
+        self._train = None
         # Register-decode caches: the fabric data path hits nodeid / DRAM
         # readiness / local-offset translation on every packet, and
         # re-decoding BKDG bitfields per packet dominates profiles.  Any
@@ -309,6 +312,10 @@ class Northbridge:
         retire it); otherwise an event that fires on acceptance.  ``mask``
         selects the sized-byte write form.
         """
+        if self._train is not None:
+            # A foreign submit invalidates the train's schedule: demote to
+            # per-packet state before this packet touches the queue.
+            self._train.abort(self.sim._now)
         pkt = make_posted_write(addr, data, unitid=self.nodeid, coherent=True,
                                 mask=mask)
         pkt.inject_time = self.sim._now

@@ -12,6 +12,15 @@ from .engine import (
     Simulator,
     Timeout,
 )
+from .parallel import (
+    PointResult,
+    SweepError,
+    SweepPoint,
+    SweepReport,
+    merge_snapshots,
+    resolve_jobs,
+    run_sweep,
+)
 from .queues import Barrier, CreditPool, Doorbell, Gate, Resource, Store
 from .trace import (
     NULL_TRACER,
@@ -45,4 +54,11 @@ __all__ = [
     "Counter",
     "OnlineStats",
     "IntervalAccumulator",
+    "SweepPoint",
+    "PointResult",
+    "SweepReport",
+    "SweepError",
+    "run_sweep",
+    "resolve_jobs",
+    "merge_snapshots",
 ]

@@ -64,6 +64,11 @@ class SimFeatures:
     #: Serialize back-to-back same-VC link packets as one bulk occupancy
     #: event with arithmetically computed delivery times.
     burst_serialization: bool = True
+    #: Collapse an uncontended bulk WC store's whole packet train
+    #: (fill/dispatch/serialize pipeline) into closed-form arithmetic,
+    #: demoting back to per-packet mode the instant anything else touches
+    #: the involved queues (see repro.opteron.train).
+    adaptive_fidelity: bool = True
 
 
 class SimulationError(RuntimeError):
@@ -428,6 +433,7 @@ class Simulator:
         self._heap: List[Tuple[float, int, Callable, Optional[tuple]]] = []
         self._now: float = 0.0
         self._seq: int = 0
+        self._cancelled: set = set()
         self._event_count: int = 0
         self._push_count: int = 0
         self._running = False
@@ -461,6 +467,29 @@ class Simulator:
         self._seq += 1
         self._push_count += 1
         _heappush(self._heap, (at, self._seq, fn, args))
+
+    def _push_cancellable(self, at: float, fn: Callable,
+                          args: Optional[tuple]) -> int:
+        """:meth:`_push` returning a handle for :meth:`_cancel`.
+
+        A cancelled entry is skipped *without advancing the clock*, so a
+        speculative long-dated entry (e.g. an adaptive-fidelity train's
+        completion) leaves no trace once revoked -- a plain guarded no-op
+        would still drag ``now`` forward when the calendar drains early.
+        """
+        self._seq += 1
+        self._push_count += 1
+        _heappush(self._heap, (at, self._seq, fn, args))
+        return self._seq
+
+    def _cancel(self, seq: int) -> None:
+        """Revoke a pending entry returned by :meth:`_push_cancellable`.
+
+        Must only be called while the entry is still in the calendar:
+        seqs are never reused, so cancelling a fired entry would leave a
+        dead sentinel in the set forever.
+        """
+        self._cancelled.add(seq)
 
     def _schedule_event(self, ev: Event, delay: float = 0.0) -> None:
         # No argument tuple to build or unpack for the (dominant) event
@@ -509,6 +538,7 @@ class Simulator:
         self._running = True
         heap = self._heap
         heappop = heapq.heappop
+        cancelled = self._cancelled
         executed = 0
         try:
             while heap:
@@ -517,6 +547,9 @@ class Simulator:
                 if until is not None and t > until:
                     break
                 heappop(heap)
+                if cancelled and entry[1] in cancelled:
+                    cancelled.remove(entry[1])
+                    continue
                 self._now = t
                 args = entry[3]
                 if args:
@@ -549,6 +582,7 @@ class Simulator:
         self._running = True
         heap = self._heap
         heappop = heapq.heappop
+        cancelled = self._cancelled
         executed = 0
         try:
             while not ev._triggered:
@@ -557,6 +591,9 @@ class Simulator:
                         f"no more events but {ev.name!r} never triggered"
                     )
                 t, _seq, fn, args = heappop(heap)
+                if cancelled and _seq in cancelled:
+                    cancelled.remove(_seq)
+                    continue
                 if limit is not None and t > limit:
                     raise DeadlockError(
                         f"time limit {limit} exceeded waiting for {ev.name!r}"

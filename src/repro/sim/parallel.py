@@ -1,0 +1,396 @@
+"""Process-pool fan-out of independent simulation points.
+
+The paper's evaluation is a family of *independent* sweep points (Figure
+6 message sizes, multi-hop bindings, coherence node counts).  Each point
+is one fully deterministic :class:`~repro.sim.engine.Simulator` with its
+own seed, so points can run in separate worker processes without any
+shared virtual clock -- determinism is per point, parallelism is across
+points.
+
+Contract (see DESIGN.md "Scale-out execution model"):
+
+* a :class:`SweepPoint` names a **module-level, picklable** function plus
+  its arguments; the function builds its own simulator/system from
+  scratch and returns a picklable value,
+* workers never share simulator state; the merge step combines *results*
+  (and optional per-point metrics snapshots), never live objects,
+* the serial path (``jobs <= 1``) executes the exact same point
+  functions in-process, in submission order, so golden/determinism
+  checks can always bypass the pool.
+
+Worker crashes (a killed or segfaulted process) and timeouts surface as
+structured :class:`PointResult` failures naming the point key -- not as a
+bare ``BrokenProcessPool`` traceback.
+
+Job-count resolution (:func:`resolve_jobs`): an explicit ``--jobs``
+value wins; otherwise the ``TCC_PARALLEL`` environment variable;
+otherwise 1 (serial).  ``0`` or ``"auto"`` selects ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SweepPoint",
+    "PointPayload",
+    "PointResult",
+    "SweepReport",
+    "SweepError",
+    "run_sweep",
+    "merge_snapshots",
+    "resolve_jobs",
+]
+
+#: Environment variable consulted by :func:`resolve_jobs`.
+JOBS_ENV = "TCC_PARALLEL"
+
+
+class SweepError(RuntimeError):
+    """A sweep point failed, crashed, or timed out.
+
+    ``results`` carries every per-point outcome gathered before the
+    failure (including the failing ones), so callers can report partial
+    progress."""
+
+    def __init__(self, msg: str, results: Optional[List["PointResult"]] = None):
+        super().__init__(msg)
+        self.results = results or []
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point.
+
+    ``fn`` must be defined at module level (picklable by reference) and
+    must build its own simulator -- it receives ``*args, **kwargs`` and
+    nothing else.  ``key`` names the point in reports and error messages.
+    ``seed`` is bookkeeping only: pass it through ``kwargs`` if the point
+    function consumes one (kept separate so reports can group by seed).
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PointPayload:
+    """Optional structured return of a point function.
+
+    When a point function returns a ``PointPayload``, ``value`` becomes
+    the :attr:`PointResult.value` and ``metrics`` (a
+    ``MetricsRegistry.snapshot()`` dict) participates in the sweep-level
+    :func:`merge_snapshots`.  Plain return values are passed through
+    unchanged with no metrics contribution.
+    """
+
+    value: Any
+    metrics: Optional[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one sweep point (success or structured failure)."""
+
+    key: str
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    worker_pid: int = 0
+    wall_s: float = 0.0
+    metrics: Optional[Dict[str, Any]] = None
+
+    def unwrap(self) -> Any:
+        if not self.ok:
+            raise SweepError(f"sweep point {self.key!r} failed: {self.error}")
+        return self.value
+
+
+@dataclass
+class SweepReport:
+    """All point results plus sweep-level accounting.
+
+    ``merged_metrics`` combines the per-point registry snapshots (points
+    that returned a :class:`PointPayload` with metrics) and adds the
+    runner's own attribution counters under the ``parallel.`` prefix:
+    points executed, worker wall-clock, pool wall-clock -- so speedups
+    are measurable from the report alone, per worker.
+    """
+
+    results: List[PointResult]
+    jobs: int
+    wall_s: float
+    worker_stats: Dict[int, Dict[str, float]]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def values(self) -> List[Any]:
+        return [r.unwrap() for r in self.results]
+
+    @property
+    def merged_metrics(self) -> Dict[str, Any]:
+        merged = merge_snapshots(
+            [r.metrics for r in self.results if r.metrics is not None]
+        )
+        c = merged.setdefault("counters", {})
+        c["parallel.points"] = c.get("parallel.points", 0) + len(self.results)
+        c["parallel.points_failed"] = c.get("parallel.points_failed", 0) + sum(
+            1 for r in self.results if not r.ok
+        )
+        c["parallel.worker_wall_s"] = round(
+            c.get("parallel.worker_wall_s", 0.0)
+            + sum(r.wall_s for r in self.results), 6
+        )
+        c["parallel.pool_wall_s"] = round(
+            c.get("parallel.pool_wall_s", 0.0) + self.wall_s, 6
+        )
+        c["parallel.jobs"] = self.jobs
+        c["parallel.workers"] = len(self.worker_stats)
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "wall_s": round(self.wall_s, 4),
+            "points": len(self.results),
+            "failed": [r.key for r in self.results if not r.ok],
+            "worker_stats": {
+                str(pid): {k: round(v, 4) for k, v in st.items()}
+                for pid, st in sorted(self.worker_stats.items())
+            },
+        }
+
+
+def resolve_jobs(explicit: Optional[Any] = None) -> int:
+    """Resolve the worker count: explicit value > TCC_PARALLEL env > 1."""
+    raw = explicit if explicit is not None else os.environ.get(JOBS_ENV)
+    if raw is None or raw == "":
+        return 1
+    if isinstance(raw, str) and raw.strip().lower() == "auto":
+        return max(os.cpu_count() or 1, 1)
+    n = int(raw)
+    if n == 0:
+        return max(os.cpu_count() or 1, 1)
+    if n < 0:
+        raise ValueError(f"jobs must be >= 0, got {n}")
+    return n
+
+
+def _execute_point(point: SweepPoint) -> PointResult:
+    """Run one point in the current process (worker or serial path)."""
+    t0 = time.perf_counter()
+    try:
+        out = point.fn(*point.args, **point.kwargs)
+    except BaseException as exc:  # surfaced structurally, never swallowed
+        return PointResult(
+            key=point.key,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            worker_pid=os.getpid(),
+            wall_s=time.perf_counter() - t0,
+        )
+    metrics = None
+    if isinstance(out, PointPayload):
+        metrics = out.metrics
+        out = out.value
+    return PointResult(
+        key=point.key,
+        ok=True,
+        value=out,
+        worker_pid=os.getpid(),
+        wall_s=time.perf_counter() - t0,
+        metrics=metrics,
+    )
+
+
+def _worker_stats(results: Sequence[PointResult]) -> Dict[int, Dict[str, float]]:
+    stats: Dict[int, Dict[str, float]] = {}
+    for r in results:
+        st = stats.setdefault(r.worker_pid, {"points": 0, "wall_s": 0.0})
+        st["points"] += 1
+        st["wall_s"] += r.wall_s
+    return stats
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    jobs: Optional[Any] = None,
+    timeout: Optional[float] = None,
+    strict: bool = True,
+) -> SweepReport:
+    """Execute ``points``, fanning out across ``jobs`` worker processes.
+
+    Results come back **in submission order** regardless of completion
+    order, so parallel and serial sweeps produce identically ordered
+    reports.  ``timeout`` bounds the whole sweep (seconds of wall time);
+    on expiry the pending points are surfaced by key.  With ``strict``
+    (default) any failed point raises :class:`SweepError` after all
+    gathered results are attached to the exception.
+    """
+    points = list(points)
+    keys = [p.key for p in points]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(f"duplicate sweep point keys: {dupes}")
+    njobs = resolve_jobs(jobs)
+    t0 = time.perf_counter()
+
+    if njobs <= 1 or len(points) <= 1:
+        results = [_execute_point(p) for p in points]
+        wall = time.perf_counter() - t0
+        report = SweepReport(results, jobs=1, wall_s=wall,
+                             worker_stats=_worker_stats(results))
+        if strict and not report.ok:
+            bad = [r for r in results if not r.ok]
+            raise SweepError(
+                f"{len(bad)}/{len(results)} sweep points failed: "
+                f"{[r.key for r in bad]}; first error:\n{bad[0].error}",
+                results,
+            )
+        return report
+
+    results_by_key: Dict[str, PointResult] = {}
+    deadline = None if timeout is None else t0 + timeout
+    with ProcessPoolExecutor(max_workers=min(njobs, len(points))) as pool:
+        fut_to_point = {pool.submit(_execute_point, p): p for p in points}
+        pending = set(fut_to_point)
+        while pending:
+            budget = None if deadline is None else deadline - time.perf_counter()
+            if budget is not None and budget <= 0:
+                done, still = set(), pending
+            else:
+                done, still = wait(pending, timeout=budget,
+                                   return_when=FIRST_COMPLETED)
+            if not done:  # timed out with work outstanding
+                stuck = sorted(fut_to_point[f].key for f in still)
+                for f in still:
+                    f.cancel()
+                for f in still:
+                    p = fut_to_point[f]
+                    results_by_key[p.key] = PointResult(
+                        key=p.key, ok=False,
+                        error=f"timed out after {timeout}s (sweep deadline)",
+                    )
+                pool.shutdown(wait=False, cancel_futures=True)
+                partial = [results_by_key[k] for k in keys if k in results_by_key]
+                raise SweepError(
+                    f"sweep timed out after {timeout}s; unfinished points: "
+                    f"{stuck}", partial,
+                )
+            for f in done:
+                p = fut_to_point[f]
+                try:
+                    results_by_key[p.key] = f.result()
+                except BaseException as exc:
+                    # The worker process died (crash/OOM/kill) -- the pool
+                    # raises rather than returning; surface it by key.
+                    results_by_key[p.key] = PointResult(
+                        key=p.key, ok=False,
+                        error=f"worker crashed: {type(exc).__name__}: {exc}",
+                    )
+            pending -= done
+
+    results = [results_by_key[k] for k in keys]
+    wall = time.perf_counter() - t0
+    report = SweepReport(results, jobs=njobs, wall_s=wall,
+                         worker_stats=_worker_stats(results))
+    if strict and not report.ok:
+        bad = [r for r in results if not r.ok]
+        raise SweepError(
+            f"{len(bad)}/{len(results)} sweep points failed: "
+            f"{[r.key for r in bad]}; first error:\n{bad[0].error}",
+            results,
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Metrics snapshot merging
+# ---------------------------------------------------------------------------
+
+def _merge_histogram(into: Dict[str, Any], h: Dict[str, Any]) -> Dict[str, Any]:
+    if not into or not into.get("count"):
+        return dict(h)
+    if not h.get("count"):
+        return into
+    buckets = dict(into.get("buckets", {}))
+    for b, n in h.get("buckets", {}).items():
+        buckets[b] = buckets.get(b, 0) + n
+    count = into["count"] + h["count"]
+    total = into["mean"] * into["count"] + h["mean"] * h["count"]
+    merged = {
+        "count": count,
+        "mean": total / count,
+        "min": min(into["min"], h["min"]),
+        "max": max(into["max"], h["max"]),
+        "buckets": buckets,
+    }
+    # Percentiles cannot be merged exactly from summaries; recompute the
+    # same linear-interpolation estimate LogHistogram uses, from buckets.
+    for p_name, p in (("p50", 50.0), ("p99", 99.0)):
+        target = p / 100.0 * count
+        seen = 0
+        est = merged["max"]
+        for b in sorted(int(k) for k in buckets):
+            n = buckets[str(b)] if str(b) in buckets else buckets[b]
+            if seen + n >= target:
+                lo, hi = float(b), float(2 * b if b else 2)
+                frac = (target - seen) / n
+                est = max(merged["min"], min(merged["max"], lo + frac * (hi - lo)))
+                break
+            seen += n
+        merged[p_name] = est
+    return merged
+
+
+def merge_snapshots(snapshots: Sequence[Optional[Dict[str, Any]]]) -> Dict[str, Any]:
+    """Combine per-point ``MetricsRegistry.snapshot()`` dicts.
+
+    Counters sum; ``gauge_max`` takes the max; histograms merge bucket
+    counts (percentiles re-estimated); accumulator averages combine
+    weighted by sample count.  Plain ``gauges`` (last-value) are dropped:
+    "last" is meaningless across independent simulators.  ``time_ns``
+    sums -- it is total simulated virtual time across points.
+    """
+    merged: Dict[str, Any] = {
+        "time_ns": 0.0,
+        "counters": {},
+        "gauge_max": {},
+        "histograms": {},
+        "accumulators": {},
+    }
+    for snap in snapshots:
+        if not snap:
+            continue
+        merged["time_ns"] += snap.get("time_ns", 0.0)
+        for k, v in snap.get("counters", {}).items():
+            merged["counters"][k] = merged["counters"].get(k, 0) + v
+        for k, v in snap.get("gauge_max", {}).items():
+            if v > merged["gauge_max"].get(k, float("-inf")):
+                merged["gauge_max"][k] = v
+        for k, h in snap.get("histograms", {}).items():
+            merged["histograms"][k] = _merge_histogram(
+                merged["histograms"].get(k, {}), h
+            )
+        for k, a in snap.get("accumulators", {}).items():
+            cur = merged["accumulators"].get(k)
+            if cur is None:
+                merged["accumulators"][k] = dict(a)
+            else:
+                n0, n1 = cur.get("samples", 0), a.get("samples", 0)
+                if n0 + n1:
+                    cur["avg"] = (
+                        cur.get("avg", 0.0) * n0 + a.get("avg", 0.0) * n1
+                    ) / (n0 + n1)
+                cur["samples"] = n0 + n1
+    return merged

@@ -1,0 +1,260 @@
+"""Tests for the parallel sweep runner (repro.sim.parallel).
+
+The runner's contract: per-point determinism (a fresh system per point
+reproduces the serial shared-system sweep exactly), structured failure
+surfacing (exceptions, crashes, timeouts name the point), and a merge
+step over metrics snapshots that is associative on counters/histograms.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sim.parallel import (
+    PointPayload,
+    PointResult,
+    SweepError,
+    SweepPoint,
+    merge_snapshots,
+    resolve_jobs,
+    run_sweep,
+)
+
+# ---------------------------------------------------------------------------
+# Module-level point functions (must be picklable by reference)
+# ---------------------------------------------------------------------------
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"bad point {x}")
+
+
+def die(x):
+    os._exit(13)  # simulates a worker crash (segfault/OOM-kill)
+
+
+def slow(x):
+    time.sleep(30)
+    return x
+
+
+def with_payload(x):
+    return PointPayload(x, {"time_ns": 1.0, "counters": {"ops": x}})
+
+
+def tiny_sim_point(seed):
+    """A real (minimal) simulator point: deterministic given its seed."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    ticks = []
+
+    def proc():
+        for i in range(seed % 5 + 1):
+            yield 10.0 * (i + 1)
+            ticks.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    return (seed, tuple(ticks), sim.now)
+
+
+# ---------------------------------------------------------------------------
+# resolve_jobs
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_jobs_priority(monkeypatch):
+    monkeypatch.delenv("TCC_PARALLEL", raising=False)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv("TCC_PARALLEL", "5")
+    assert resolve_jobs() == 5
+    assert resolve_jobs(2) == 2  # explicit wins over env
+    monkeypatch.setenv("TCC_PARALLEL", "auto")
+    assert resolve_jobs() >= 1
+    monkeypatch.setenv("TCC_PARALLEL", "0")
+    assert resolve_jobs() == max(os.cpu_count() or 1, 1)
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+# ---------------------------------------------------------------------------
+# run_sweep basics
+# ---------------------------------------------------------------------------
+
+
+def _points(fn, xs):
+    return [SweepPoint(key=f"p{x}", fn=fn, args=(x,)) for x in xs]
+
+
+def test_serial_and_parallel_agree():
+    pts = _points(square, range(8))
+    serial = run_sweep(pts, jobs=1)
+    par = run_sweep(pts, jobs=4)
+    assert serial.values() == par.values() == [x * x for x in range(8)]
+    assert [r.key for r in par.results] == [p.key for p in pts]  # order kept
+    assert serial.jobs == 1 and par.jobs == 4
+    assert par.ok and serial.ok
+
+
+def test_deterministic_sim_points_parallel():
+    pts = [SweepPoint(key=f"s{s}", fn=tiny_sim_point, args=(s,), seed=s)
+           for s in (1, 2, 3, 7)]
+    serial = run_sweep(pts, jobs=1).values()
+    par = run_sweep(pts, jobs=4).values()
+    assert serial == par
+
+
+def test_duplicate_keys_rejected():
+    pts = [SweepPoint(key="same", fn=square, args=(1,)),
+           SweepPoint(key="same", fn=square, args=(2,))]
+    with pytest.raises(ValueError, match="duplicate"):
+        run_sweep(pts, jobs=1)
+
+
+def test_exception_surfaced_with_key_serial():
+    pts = _points(square, [1]) + _points(boom, [9])
+    with pytest.raises(SweepError, match="p9") as ei:
+        run_sweep(pts, jobs=1)
+    bad = [r for r in ei.value.results if not r.ok]
+    assert len(bad) == 1 and bad[0].key == "p9"
+    assert "ValueError" in bad[0].error and "bad point 9" in bad[0].error
+
+
+def test_exception_surfaced_with_key_parallel():
+    pts = _points(square, [1, 2]) + _points(boom, [9])
+    with pytest.raises(SweepError, match="p9"):
+        run_sweep(pts, jobs=2)
+    # non-strict mode returns the structured results instead
+    report = run_sweep(pts, jobs=2, strict=False)
+    assert not report.ok
+    by_key = {r.key: r for r in report.results}
+    assert by_key["p1"].ok and by_key["p2"].ok and not by_key["p9"].ok
+    with pytest.raises(SweepError, match="p9"):
+        by_key["p9"].unwrap()
+
+
+def test_worker_crash_surfaced():
+    pts = _points(square, [1]) + [SweepPoint(key="crash", fn=die, args=(0,))]
+    report = run_sweep(pts, jobs=2, strict=False)
+    bad = {r.key: r for r in report.results}["crash"]
+    assert not bad.ok and "crash" in bad.error.lower()
+
+
+def test_timeout_surfaced():
+    pts = _points(square, [1]) + [SweepPoint(key="stuck", fn=slow, args=(0,))]
+    with pytest.raises(SweepError, match="stuck"):
+        run_sweep(pts, jobs=2, timeout=2.0)
+
+
+def test_worker_stats_and_attribution_counters():
+    pts = _points(with_payload, [2, 3, 4])
+    report = run_sweep(pts, jobs=2)
+    assert sum(st["points"] for st in report.worker_stats.values()) == 3
+    merged = report.merged_metrics
+    assert merged["counters"]["ops"] == 2 + 3 + 4
+    assert merged["counters"]["parallel.points"] == 3
+    assert merged["counters"]["parallel.points_failed"] == 0
+    assert merged["counters"]["parallel.jobs"] == 2
+    assert merged["counters"]["parallel.worker_wall_s"] >= 0
+    assert merged["counters"]["parallel.pool_wall_s"] >= 0
+    d = report.to_dict()
+    assert d["points"] == 3 and d["failed"] == []
+
+
+# ---------------------------------------------------------------------------
+# merge_snapshots
+# ---------------------------------------------------------------------------
+
+
+def _registry_snapshot(values, now):
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.enabled = True
+    for v in values:
+        reg.inc("n")
+        reg.observe("lat", v)
+        reg.set_gauge("depth", v)
+        reg.track("occ", now, v)
+    return reg.snapshot(now)
+
+
+def test_merge_snapshots_counters_hist_gauges():
+    a = _registry_snapshot([4, 8, 16], 100.0)
+    b = _registry_snapshot([32, 64], 50.0)
+    merged = merge_snapshots([a, b, None])
+    assert merged["counters"]["n"] == 5
+    assert merged["time_ns"] == 150.0
+    assert merged["gauge_max"]["depth"] == 64
+    h = merged["histograms"]["lat"]
+    assert h["count"] == 5
+    assert h["min"] == 4 and h["max"] == 64
+    assert h["mean"] == pytest.approx((4 + 8 + 16 + 32 + 64) / 5)
+    assert sum(h["buckets"].values()) == 5
+    assert h["min"] <= h["p50"] <= h["max"]
+    # merging with an empty snapshot list yields an empty frame
+    empty = merge_snapshots([])
+    assert empty["counters"] == {} and empty["time_ns"] == 0.0
+
+
+def test_merge_snapshots_matches_single_registry():
+    """Merging per-point snapshots == one registry seeing all samples."""
+    combined = _registry_snapshot([4, 8, 16, 32, 64], 150.0)
+    merged = merge_snapshots(
+        [_registry_snapshot([4, 8, 16], 150.0),
+         _registry_snapshot([32, 64], 0.0)]
+    )
+    h0, h1 = combined["histograms"]["lat"], merged["histograms"]["lat"]
+    assert h0["count"] == h1["count"] and h0["buckets"] == h1["buckets"]
+    assert h0["mean"] == pytest.approx(h1["mean"])
+    assert combined["counters"] == merged["counters"]
+
+
+# ---------------------------------------------------------------------------
+# fresh-system-per-point == serial shared-system sweep (the determinism
+# contract the benchmark fixtures rely on)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_fig6_points_parallel_equals_serial():
+    from repro.bench.microbench import run_bandwidth_sweep
+    from repro.bench.sweep_points import run_bandwidth_sweep_parallel
+
+    sizes = (64, 4096)
+    serial = run_bandwidth_sweep(sizes=sizes)
+    par = run_bandwidth_sweep_parallel(sizes=sizes, jobs=2)
+    assert [(p.size, p.mode, p.elapsed_ns, p.mbps) for p in serial] == \
+           [(p.size, p.mode, p.elapsed_ns, p.mbps) for p in par]
+
+
+# ---------------------------------------------------------------------------
+# atomic write_result (benchmarks/_common.py)
+# ---------------------------------------------------------------------------
+
+
+def test_write_result_atomic_and_namespaced(tmp_path, monkeypatch):
+    import importlib.util
+    import pathlib
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_common",
+        pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "_common.py",
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    monkeypatch.setattr(mod, "RESULTS_DIR", tmp_path)
+    mod.write_result("fig", "hello")
+    assert (tmp_path / "fig.txt").read_text() == "hello\n"
+    mod.write_result("fig", "world", point="64B")
+    assert (tmp_path / "fig.64B.txt").read_text() == "world\n"
+    assert (tmp_path / "fig.txt").read_text() == "hello\n"
+    # no tmp droppings left behind
+    assert not [p for p in tmp_path.iterdir() if p.name.startswith(".")]

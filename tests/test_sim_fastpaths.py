@@ -250,3 +250,86 @@ def test_burst_vs_per_packet_identical(seed):
         )
     assert s_burst.bursts > 0, "fuzz stream never exercised the burst path"
     assert s_plain.bursts == 0
+
+
+# ---------------------------------------------------------------------------
+# Cancellable calendar entries (adaptive-fidelity support)
+# ---------------------------------------------------------------------------
+
+def test_cancelled_entry_skipped_without_advancing_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    seq = sim._push_cancellable(50.0, lambda: fired.append("never"), None)
+    sim._cancel(seq)
+    sim.run()
+    assert fired == [5.0]
+    # The revoked entry must not have dragged the clock to t=50.
+    assert sim.now == 5.0
+    assert not sim._cancelled, "cancel bookkeeping must drain"
+
+
+def test_cancel_is_scoped_to_one_entry():
+    sim = Simulator()
+    fired = []
+    keep = sim._push_cancellable(3.0, lambda: fired.append("keep"), None)
+    drop = sim._push_cancellable(3.0, lambda: fired.append("drop"), None)
+    assert keep != drop
+    sim._cancel(drop)
+    sim.run()
+    assert fired == ["keep"]
+    assert sim.now == 3.0
+
+
+def test_cancelled_entry_skipped_in_run_until_event():
+    sim = Simulator()
+    seq = sim._push_cancellable(40.0, lambda: None, None)
+    sim._cancel(seq)
+    ev = sim.event()
+    sim.schedule(2.0, ev.succeed)
+    sim.run_until_event(ev)
+    assert sim.now == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Adaptive-fidelity demotion edge cases (ISSUE 3 satellite): each foreign
+# disturbance must flip the train back to per-packet mode with an end
+# state identical to a run that never aggregated.  The deep sweep lives in
+# test_train_equivalence.py; these pin the three named hazards.
+# ---------------------------------------------------------------------------
+
+from test_train_equivalence import assert_equivalent, run_train_mode
+
+
+def test_train_contention_arriving_mid_train():
+    # A local posted write enters the northbridge while the train is in
+    # full flight (K=64 window spans ~1.5us; t=241.3 is mid-window).
+    slow = run_train_mode(64, fast=False, kind="submit", t_off=241.3)
+    fast = run_train_mode(64, fast=True, kind="submit", t_off=241.3)
+    assert_equivalent(slow, fast)
+    assert fast["train_demotions"] >= 1, "contention must demote"
+
+
+def test_train_link_degradation_mid_train():
+    # A BER pulse (retry-capable link state) during the aggregate window:
+    # the fidelity switch may not keep arithmetic timestamps once the
+    # wire can corrupt packets.
+    slow = run_train_mode(64, fast=False, kind="ber", t_off=160.9)
+    fast = run_train_mode(64, fast=True, kind="ber", t_off=160.9)
+    assert_equivalent(slow, fast)
+    assert fast["train_demotions"] >= 1, "degradation must demote"
+
+
+def test_train_interrupt_inside_aggregated_window():
+    slow = run_train_mode(64, fast=False, kind="interrupt", t_off=93.1)
+    fast = run_train_mode(64, fast=True, kind="interrupt", t_off=93.1)
+    assert_equivalent(slow, fast)
+    assert "store_interrupted" in fast["done"]
+    assert fast["train_demotions"] >= 1, "interrupt must demote"
+
+
+def test_train_foreign_rx_traffic_mid_train():
+    # A packet from elsewhere entering the same link direction.
+    slow = run_train_mode(16, fast=False, kind="send", t_off=47.77)
+    fast = run_train_mode(16, fast=True, kind="send", t_off=47.77)
+    assert_equivalent(slow, fast)
