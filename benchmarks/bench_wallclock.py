@@ -20,6 +20,12 @@ model's accuracy.  Three scenarios:
   with eight link-disjoint 512 KiB bulk transfers, run with the
   adaptive-fidelity bulk-train fast path off (per-packet baseline) and
   on; gated on the deterministic event count of the adaptive run.
+* ``datapath_churn`` -- a 1 MiB aligned store pushed through the
+  *per-packet* data plane (adaptive fidelity off): every cache line
+  becomes a real pooled packet.  Reports the zero-copy counters
+  (``bytes_copied``, ``packets_alloc``/``packets_pooled``) and asserts
+  the one-copy and O(1)-allocation invariants; gated on its
+  deterministic event count.
 
 Emits ``BENCH_wallclock.json`` (repo root by default) with runtime,
 events executed, heap pushes, and events/sec per scenario, plus speedups
@@ -78,13 +84,23 @@ FIG6_REPEATS = 3
 #: Bytes each of the eight link-disjoint mesh pairs bulk-stores.
 MESH_TRANSFER = 512 * KiB
 
+#: Bytes the datapath-churn scenario streams per-packet (16384 lines).
+DATAPATH_TRANSFER = 1 * MiB
+
 
 def bench_canonical():
-    sys_ = TCClusterSystem.two_board_prototype()
-    t0 = time.perf_counter()
-    res = run_canonical_2node(system=sys_)
-    wall = time.perf_counter() - t0
-    sim = sys_.sim
+    # Best-of-3 back-to-back (the seed baseline's protocol): the first
+    # run pays interpreter warm-up that the gate's deterministic event
+    # count is insensitive to but the reported events/sec is not.
+    best = None
+    for _ in range(3):
+        sys_ = TCClusterSystem.two_board_prototype()
+        t0 = time.perf_counter()
+        res = run_canonical_2node(system=sys_)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, sys_.sim, res)
+    wall, sim, res = best
     packets = res["links"]["tcc_a_packets"]
     return {
         "runtime_s": round(wall, 4),
@@ -156,15 +172,114 @@ def bench_fig6_4mib():
     }
 
 
+def bench_datapath_churn():
+    """One bulk transfer through the full per-packet data plane.
+
+    Adaptive fidelity is disabled so every cache line of a 1 MiB aligned
+    store travels as an individual pooled packet through WC flush, SRQ,
+    link and destination commit -- the worst-case object-churn workload
+    the zero-copy overhaul targets.  Asserts the two data-plane
+    invariants directly:
+
+    * **one-copy**: destination ``bytes_copied`` grows by exactly the
+      transfer size (each payload byte is copied once, at page commit);
+    * **O(1) allocation**: fresh ``Packet`` objects allocated during the
+      transfer are bounded by the flow-control window (the SRQ posted
+      buffer plus link queue depth), not by the transfer size -- the
+      peak in-flight population is allocated once and recirculated.
+    """
+    from repro.bench.microbench import _RawWindow
+    from repro.obs.metrics import datapath_counters
+
+    sys_ = TCClusterSystem.two_board_prototype()
+    sys_.sim.features.adaptive_fidelity = False  # force per-packet plane
+    sys_.boot()
+    cl = sys_.cluster
+    sim = sys_.sim
+    win = _RawWindow(cl, 0, 1)
+    size = DATAPATH_TRANSFER
+    data = bytes(range(256)) * (size // 256)
+    dest = cl.ranks[1].chip.memctrl.memory
+
+    def xfer():
+        yield from win.proc.store(win.tx_base, data)
+        yield from win.proc.core.sfence()
+
+    before = datapath_counters(sim, memories=(dest,))
+    e0, p0 = sim.event_count, sim.heap_pushes
+    t0 = time.perf_counter()
+    sim.run_until_event(sim.process(xfer()))
+    sim.run()
+    wall = time.perf_counter() - t0
+    events = sim.event_count - e0
+    after = datapath_counters(sim, memories=(dest,))
+    delta = {k: after[k] - before[k] for k in after}
+
+    # Model sanity: the destination window holds the streamed bytes.
+    window_off = win.tx_base - cl.ranks[1].base
+    got = dest.read(window_off, size)
+    assert got == data, "datapath churn transfer corrupted"
+
+    lines = size // 64
+    assert delta["bytes_copied"] == size, (
+        f"one-copy invariant broken: {delta['bytes_copied']} bytes copied "
+        f"for a {size}-byte transfer"
+    )
+    # Peak live packets = the flow-control window, independent of the
+    # transfer size; 64 covers the link tx queue and rx in-flight tail.
+    window = sys_.cluster.ranks[0].chip.nb.timing.posted_buffer_packets + 64
+    assert delta["packets_alloc"] <= window, (
+        f"packet churn not O(1): {delta['packets_alloc']} fresh allocations "
+        f"exceed the flow-control window {window} ({lines} packets sent)"
+    )
+    assert delta["packets_alloc"] + delta["packets_pooled"] == lines, (
+        "pool accounting lost packets: "
+        f"{delta['packets_alloc']}+{delta['packets_pooled']} != {lines}"
+    )
+
+    return {
+        "runtime_s": round(wall, 4),
+        "transfer_bytes": size,
+        "packets": lines,
+        "events": events,
+        "heap_pushes": sim.heap_pushes - p0,
+        "events_per_sec": round(events / wall) if wall > 0 else None,
+        "virtual_ns": round(sim.now, 1),
+        "bytes_copied": delta["bytes_copied"],
+        "copies_per_byte": round(delta["bytes_copied"] / size, 4),
+        "packets_alloc": delta["packets_alloc"],
+        "packets_pooled": delta["packets_pooled"],
+        "packets_recycled": delta["packets_recycled"],
+    }
+
+
 def bench_fig6_full_sweep(jobs):
     """The entire Figure 6 grid, serial vs process-pool fan-out.
 
     Both passes go through the same per-point machinery (a fresh booted
     prototype per point, largest transfers scheduled first) so the ratio
-    isolates the pool, not a workload difference.
+    isolates the pool, not a workload difference.  On a runner whose CPU
+    affinity allows only one core (or with ``--jobs 1``) the comparison
+    would measure pool overhead, not scale-out, so it is skipped with an
+    explicit marker instead of reporting a misleading ~1x "speedup".
     """
     from repro.bench.microbench import DEFAULT_BW_SIZES
     from repro.bench.sweep_points import run_bandwidth_sweep_parallel
+    from repro.sim.parallel import usable_cpus
+
+    usable = usable_cpus()
+    if usable <= 1 or jobs <= 1:
+        return {
+            "skipped_parallel_compare": True,
+            "usable_cpus": usable,
+            "jobs": jobs,
+            "reason": (
+                "only one usable CPU: a serial-vs-pool wall-clock ratio "
+                "would measure pool overhead, not scale-out"
+                if usable <= 1 else
+                "jobs <= 1: nothing to compare against the serial pass"
+            ),
+        }
 
     sizes = tuple(DEFAULT_BW_SIZES)
     t0 = time.perf_counter()
@@ -178,8 +293,6 @@ def bench_fig6_full_sweep(jobs):
     assert [(p.size, p.mode, p.mbps) for p in serial] == \
         [(p.size, p.mode, p.mbps) for p in parallel], \
         "parallel sweep diverged from serial results"
-    usable = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
-        else (os.cpu_count() or 1)
     out = {
         "points": len(serial),
         "jobs": jobs,
@@ -294,6 +407,7 @@ def main(argv=None) -> int:
         "fig6_4mib_weak": bench_fig6_4mib(),
         "fig6_full_sweep": bench_fig6_full_sweep(jobs),
         "mesh_4x4": bench_mesh_4x4(),
+        "datapath_churn": bench_datapath_churn(),
     }
 
     seed = SEED_BASELINE
@@ -310,7 +424,8 @@ def main(argv=None) -> int:
             / canon["pushes_per_packet"],
             2,
         ),
-        "fig6_sweep_parallel_x": scenarios["fig6_full_sweep"]["speedup_x"],
+        "fig6_sweep_parallel_x": scenarios["fig6_full_sweep"].get(
+            "speedup_x", "skipped"),
         "mesh_adaptive_fidelity_x": scenarios["mesh_4x4"]["speedup_x"],
     }
 
@@ -338,6 +453,9 @@ def main(argv=None) -> int:
             ("mesh_events_max",
              scenarios["mesh_4x4"]["adaptive"]["events"],
              "mesh_4x4 adaptive scenario"),
+            ("datapath_events_max",
+             scenarios["datapath_churn"]["events"],
+             "datapath churn scenario"),
         ]
         failed = False
         for key, got, label in gates:

@@ -87,7 +87,11 @@ class AggregatedLink:
             m.bring_down()
 
     def send(self, side: str, pkt: Packet) -> Event:
-        """Stripe: tag the packet, pick the next member round-robin."""
+        """Stripe: tag the packet, pick the next member round-robin.
+
+        Payloads are never touched here -- a zero-copy memoryview span on
+        ``pkt.data`` rides the stripe and the resequencer untouched (only
+        the ``_agg_tag`` side-channel is written)."""
         tag = next(self._tx_tag[side])
         pkt._agg_tag = tag  # side-channel attribute; not on the wire model
         idx = self._rr[side]
@@ -113,7 +117,7 @@ class AggregatedLink:
         return len(self._reseq[side].out)
 
     def stats(self, side: str):
-        """Aggregate transmit stats (summed over members)."""
+        """Aggregate transmit stats (summed over members, every field)."""
         from .link import LinkStats
 
         total = LinkStats()
@@ -122,8 +126,12 @@ class AggregatedLink:
             total.packets += s.packets
             total.payload_bytes += s.payload_bytes
             total.wire_bytes += s.wire_bytes
+            total.retry_wire_bytes += s.retry_wire_bytes
             total.retries += s.retries
+            total.drops += s.drops
             total.busy_ns += s.busy_ns
+            total.credit_stall_ns += s.credit_stall_ns
+            total.bursts += s.bursts
         return total
 
     # -- internals -----------------------------------------------------------

@@ -121,6 +121,13 @@ class _Direction:
         self.rx: Store = Store(sim, capacity=None, name=f"{link.name}.{self.rx_side}.rx")
         self.phy = Resource(sim, 1, name=f"{link.name}.{tx_side}.phy")
         self.stats = LinkStats()
+
+        # Shared credit-return callback for Link.receive: allocating a
+        # fresh closure per blocking receive is measurable at packet rate.
+        def _return_credit(done_ev: Event, credits=self.credits) -> None:
+            credits[done_ev.value.vc].give()
+
+        self._credit_cb = _return_credit
         #: Active aggregate-fidelity packet train owning this direction
         #: (repro.opteron.train); foreign sends demote it first.
         self._train = None
@@ -137,17 +144,22 @@ class _Direction:
         no other VC with traffic queued or waiting for the serializer, and
         tracing off (burst tx records would append out of time order)."""
         link = self.link
-        if not link.sim.features.burst_serialization or link.ber > 0:
+        if not link.sim.features.burst_serialization or link._ber > 0:
             return False
         if link.tracer.enabled or self.phy._waiters:
             return False
-        return all(not self.txq[other] for other in VirtualChannel if other is not vc)
+        for other, q in self.txq.items():
+            if other is not vc and q._items:
+                return False
+        return True
 
     def _pump(self, vc: VirtualChannel):
         link = self.link
         sim = link.sim
         txq = self.txq[vc]
         credits = self.credits[vc]
+        phy = self.phy
+        stats = self.stats
         while True:
             # Fast paths: when the queue has a packet, a credit is free and
             # the serializer is idle, take all three inline -- no Event
@@ -159,27 +171,33 @@ class _Direction:
             if not credits.try_take():
                 wait_start = sim.now
                 yield credits.take()
-                self.stats.credit_stall_ns += sim.now - wait_start
-            if not self.phy.try_acquire():
-                yield self.phy.acquire()
+                stats.credit_stall_ns += sim.now - wait_start
+            if not phy.try_acquire():
+                yield phy.acquire()
             dropped = False
             try:
                 if link.state != LinkState.ACTIVE:
                     raise LinkDownError(
                         f"link {link.name} went {link.state} while transmitting"
                     )
-                if self._can_burst(vc) and txq:
+                if txq._items and self._can_burst(vc):
                     yield from self._transmit_burst(pkt, vc)
                     continue  # phy released inside; stats/delivery done
                 ser = link.serialization_ns(pkt)
                 attempts = 1
+                if link.ber > 0:
+                    # Retry mode: the per-packet CRC the ACK/NAK protocol
+                    # verifies.  This is the only data-plane consumer of
+                    # the (lazily computed, cached) wire CRC; timing and
+                    # the retry draw below do not depend on its value.
+                    _ = pkt.crc32
                 while link.ber > 0 and link._rng.random() < link.ber:
                     # HT3 retry: CRC failure detected, NAK + retransmission
                     # costs another serialization window plus turnaround.
                     yield ser + link.retry_turnaround_ns
-                    self.stats.retries += 1
-                    self.stats.busy_ns += ser + link.retry_turnaround_ns
-                    self.stats.retry_wire_bytes += pkt.wire_bytes(
+                    stats.retries += 1
+                    stats.busy_ns += ser + link.retry_turnaround_ns
+                    stats.retry_wire_bytes += pkt.wire_bytes(
                         link.timing.ht_crc_bytes
                     )
                     attempts += 1
@@ -191,18 +209,18 @@ class _Direction:
                         break
                 if not dropped:
                     yield ser
-                    self.stats.busy_ns += ser
+                    stats.busy_ns += ser
             finally:
-                self.phy.release()
+                phy.release()
             if dropped:
-                self.stats.drops += 1
+                stats.drops += 1
                 credits.give()
                 link.tracer.emit(sim.now, link.name, "drop",
                                  (self.tx_side, vc.name, pkt.addr))
                 continue
-            self.stats.packets += 1
-            self.stats.payload_bytes += len(pkt.data)
-            self.stats.wire_bytes += pkt.wire_bytes(link.timing.ht_crc_bytes)
+            stats.packets += 1
+            stats.payload_bytes += len(pkt.data)
+            stats.wire_bytes += pkt.wire_bytes(link._crc_bytes)
             if link.tracer.enabled:
                 link.tracer.emit(sim.now, link.name, "tx",
                                  (self.tx_side, vc.name, pkt.addr))
@@ -231,7 +249,7 @@ class _Direction:
         # virtual timing diverges.  get_deferred holds each slot until
         # the time the per-packet pop would have happened.
         pop_at = t0
-        while len(burst) < self.MAX_BURST and txq and credits.try_take():
+        while len(burst) < self.MAX_BURST and txq._items and credits.try_take():
             pop_at += link.serialization_ns(burst[-1])
             nxt = txq.get_deferred(pop_at)
             if nxt is None:  # pragma: no cover - len(txq) just said otherwise
@@ -239,17 +257,20 @@ class _Direction:
                 break
             burst.append(nxt)
         cum = 0.0
-        crc = link.timing.ht_crc_bytes
+        crc = link._crc_bytes
+        rate = link._rate
         prop = link.propagation_ns
+        stats = self.stats
+        deliver = self._deliver
         for p in burst:
-            cum += link.serialization_ns(p)
-            self.stats.packets += 1
-            self.stats.payload_bytes += len(p.data)
-            self.stats.wire_bytes += p.wire_bytes(crc)
-            sim._push(t0 + cum + prop, self._deliver, (p, vc))
-        self.stats.bursts += 1
+            cum += p.wire_bytes(crc) / rate
+            stats.packets += 1
+            stats.payload_bytes += len(p.data)
+            stats.wire_bytes += p.wire_bytes(crc)
+            sim._push(t0 + cum + prop, deliver, (p, vc))
+        stats.bursts += 1
         yield cum
-        self.stats.busy_ns += cum
+        stats.busy_ns += cum
 
     def _deliver(self, pkt: Packet, vc: VirtualChannel) -> None:
         link = self.link
@@ -297,6 +318,8 @@ class Link:
             credits_per_vc if credits_per_vc is not None else timing.link_credits_per_vc
         )
         self.tx_queue_depth = tx_queue_depth
+        self._rate = self.width_bits * self.gbit_per_lane / 8.0
+        self._crc_bytes = timing.ht_crc_bytes
         self.ber = ber
         self.max_retries = 16
         self.retry_turnaround_ns = 40.0
@@ -312,11 +335,16 @@ class Link:
     # -- rate -----------------------------------------------------------------
     @property
     def bytes_per_ns(self) -> float:
-        """Current unidirectional link rate (bytes/ns)."""
-        return self.width_bits * self.gbit_per_lane / 8.0
+        """Current unidirectional link rate (bytes/ns).
+
+        Cached as ``_rate`` (recomputed by :meth:`set_rate`, the single
+        mutation path after construction): serialization runs once per
+        packet and the float math showed up in wall-clock profiles.
+        """
+        return self._rate
 
     def serialization_ns(self, pkt: Packet) -> float:
-        return pkt.wire_bytes(self.timing.ht_crc_bytes) / self.bytes_per_ns
+        return pkt.wire_bytes(self._crc_bytes) / self._rate
 
     # -- data path --------------------------------------------------------------
     def send(self, side: str, pkt: Packet) -> Event:
@@ -347,11 +375,7 @@ class Link:
         """
         d = self._dirs[LinkSide.other(side)]  # direction whose rx is `side`
         ev = d.rx.get()
-
-        def _return_credit(done_ev: Event, d=d) -> None:
-            d.credits[done_ev.value.vc].give()
-
-        ev.add_callback(_return_credit)
+        ev.add_callback(d._credit_cb)
         return ev
 
     def try_receive(self, side: str):
@@ -404,6 +428,7 @@ class Link:
         self._abort_trains()
         self.width_bits = width_bits
         self.gbit_per_lane = gbit_per_lane
+        self._rate = width_bits * gbit_per_lane / 8.0
 
     # -- adaptive fidelity ------------------------------------------------
     @property

@@ -34,6 +34,8 @@ __all__ = [
     "VirtualChannel",
     "Packet",
     "PacketError",
+    "PacketPool",
+    "pool_for",
     "make_posted_write",
     "make_nonposted_write",
     "make_read",
@@ -113,6 +115,10 @@ _EXPECTS_RESPONSE_CODES = frozenset((
     Command.WRITE_NONPOSTED, Command.WRITE_NONPOSTED_BYTE,
     Command.READ, Command.FLUSH,
 ))
+_WRITE_CODES = frozenset((
+    Command.WRITE_POSTED, Command.WRITE_NONPOSTED,
+    Command.WRITE_POSTED_BYTE, Command.WRITE_NONPOSTED_BYTE,
+))
 
 
 class VirtualChannel(enum.IntEnum):
@@ -159,10 +165,20 @@ class Packet:
     """One HyperTransport packet.
 
     ``data`` is the dword-aligned payload (may be empty for reads and
-    responses-to-writes).  ``coherent`` marks packets travelling inside a
+    responses-to-writes).  On the pooled posted-write fast path it may be a
+    read-only :class:`memoryview` span into the storing core's source
+    buffer (the zero-copy data plane); every consumer treats it as
+    immutable bytes-like.  ``coherent`` marks packets travelling inside a
     coherent fabric; the IO bridge flips it when converting (Section III:
     "an I/O bridge that converts between coherent and non-coherent
     HyperTransport packets").
+
+    **Lazy wire image.**  ``encode()`` and the retry-mode ``crc32`` are
+    computed on first demand and cached in ``_wire`` / ``_crc``; the
+    header/payload fields must therefore not be mutated after the first
+    consumer has asked (the fabric only flips ``coherent``, which is not
+    part of the wire image).  :meth:`PacketPool.recycle` resets both
+    caches.
     """
 
     cmd: Command
@@ -184,6 +200,20 @@ class Packet:
     #: Aggregation side-channel (see :mod:`repro.ht.aggregate`); declared
     #: here because the class uses ``__slots__``.
     _agg_tag: Optional[int] = field(default=None, compare=False)
+    #: Cached wire image / CRC (lazy encode; see class docstring).
+    _wire: Optional[bytes] = field(default=None, init=False, compare=False,
+                                   repr=False)
+    _crc: Optional[int] = field(default=None, init=False, compare=False,
+                                repr=False)
+    #: Cached CRC-less wire footprint (header+ext+mask+payload bytes); the
+    #: serializer asks two to three times per packet per hop and the
+    #: fields backing it are frozen by the lazy-wire invariant above.
+    _wire_len: Optional[int] = field(default=None, init=False, compare=False,
+                                     repr=False)
+    #: True while checked out of a :class:`PacketPool` (recycle() flips it
+    #: back, making double-recycle a no-op).
+    _pooled: bool = field(default=False, init=False, compare=False,
+                          repr=False)
 
     def __post_init__(self) -> None:
         if self.addr < 0 or self.addr >= (1 << 64):
@@ -227,13 +257,11 @@ class Packet:
     # -- classification ----------------------------------------------------
     @property
     def vc(self) -> VirtualChannel:
-        return VirtualChannel.for_command(self.cmd)
+        return _VC_FOR[self.cmd]
 
     @property
     def is_write(self) -> bool:
-        return self.cmd in (Command.WRITE_POSTED, Command.WRITE_NONPOSTED,
-                            Command.WRITE_POSTED_BYTE,
-                            Command.WRITE_NONPOSTED_BYTE)
+        return self.cmd in _WRITE_CODES
 
     @property
     def dword_count(self) -> int:
@@ -258,12 +286,17 @@ class Packet:
 
         Sized-byte writes carry a byte-enable doubleword pair (+8 bytes).
         """
-        mask_bytes = 8 if self.mask is not None else 0
-        return self.header_bytes() + mask_bytes + len(self.data) + crc_bytes
+        n = self._wire_len
+        if n is None:
+            mask_bytes = 8 if self.mask is not None else 0
+            n = self._wire_len = (
+                self.header_bytes() + mask_bytes + len(self.data)
+            )
+        return n + crc_bytes
 
     # -- encode / decode ----------------------------------------------------
-    def encode(self) -> bytes:
-        """Serialize to the wire image (header [+ extension] + payload + CRC)."""
+    def _encode_body(self) -> bytes:
+        """Header [+ extension] [+ byte-enable dwords] + payload (no CRC)."""
         if self.cmd.is_response:
             hdr = 0
             hdr = set_bits(hdr, *_F_R_CMD, int(self.cmd))
@@ -292,9 +325,35 @@ class Packet:
                     if m:
                         bits |= 1 << i
                 body += struct.pack("<Q", bits)
-        body += self.data
-        crc = binascii.crc32(body) & 0xFFFFFFFF
-        return body + struct.pack("<I", crc)
+        data = self.data
+        if type(data) is not bytes:  # memoryview span on the pooled path
+            data = bytes(data)
+        return body + data
+
+    @property
+    def crc32(self) -> int:
+        """Per-packet retry-mode CRC, computed lazily on first demand.
+
+        Nothing on the posted-write hot path asks for it; the consumers
+        are retry-mode links (BER > 0), :meth:`encode` and tests."""
+        c = self._crc
+        if c is None:
+            c = self._crc = binascii.crc32(self._encode_body()) & 0xFFFFFFFF
+        return c
+
+    def encode(self) -> bytes:
+        """Serialize to the wire image (header [+ extension] + payload + CRC).
+
+        Lazy and cached: the bytes are built on the first call only (see
+        the class docstring for the no-mutation-after-encode invariant)."""
+        w = self._wire
+        if w is None:
+            body = self._encode_body()
+            crc = self._crc
+            if crc is None:
+                crc = self._crc = binascii.crc32(body) & 0xFFFFFFFF
+            w = self._wire = body + struct.pack("<I", crc)
+        return w
 
     @classmethod
     def decode(cls, wire: bytes, coherent: bool = False) -> "Packet":
@@ -470,3 +529,138 @@ def make_target_done(srctag: int, unitid: int = 0, error: bool = False) -> Packe
 def make_broadcast(addr: int, data: bytes = b"", unitid: int = 0) -> Packet:
     """Interrupt / system-management broadcast (must not cross TCC links)."""
     return Packet(cmd=Command.BROADCAST, addr=addr, data=bytes(data), unitid=unitid)
+
+
+# ---------------------------------------------------------------------------
+# The posted-write packet pool (zero-copy data plane)
+# ---------------------------------------------------------------------------
+
+class PacketPool:
+    """Free-list of :class:`Packet` objects for the posted-write hot path.
+
+    A bulk transfer churns through one packet per cache line; going through
+    the dataclass constructor plus ``__post_init__`` validation per line
+    dominates the per-packet cost once the calendar itself is cheap.  The
+    pool hands out *flyweight* packets (``Packet.__new__`` + direct slot
+    assignment, skipping init entirely) and takes them back at the commit
+    point, so a transfer of any size keeps O(queue depth) live packets.
+
+    Invariants:
+
+    * a packet handed out by :meth:`posted_write` is marked ``_pooled``;
+      :meth:`recycle` on a foreign (constructor-built) packet is a no-op,
+      as is recycling the same packet twice;
+    * :meth:`recycle` scrubs every consumer-visible field (payload, mask,
+      lazy wire/CRC caches, tags) before the object re-enters the free
+      list -- reuse can never leak state between packets (tested by the
+      round-trip property test in ``tests/test_datapath_pool.py``);
+    * validation on the fast path is the subset that protects memory
+      safety downstream (alignment, granularity, size, address width);
+      the full ``__post_init__`` checks still guard every other
+      constructor.
+
+    Counters: ``allocated`` (fresh objects ever built), ``reused``
+    (checkouts served from the free list) and ``recycled`` (returns);
+    exported by :func:`repro.obs.metrics.datapath_counters` as the
+    ``packets_alloc`` / ``packets_pooled`` family.
+    """
+
+    __slots__ = ("_free", "allocated", "reused", "recycled")
+
+    #: Free-list cap: beyond this, recycled packets are dropped to the GC
+    #: (bounds pool memory after a burst; far above steady-state depth).
+    MAX_FREE = 256
+
+    def __init__(self) -> None:
+        self._free: list = []
+        self.allocated = 0
+        self.reused = 0
+        self.recycled = 0
+
+    def posted_write(self, addr: int, data, unitid: int = 0,
+                     coherent: bool = False,
+                     mask: Optional[bytes] = None) -> Packet:
+        """Checkout a ``WRITE_POSTED`` packet; ``data`` may be bytes or a
+        read-only memoryview span (kept by reference -- the one-copy
+        guarantee relies on the caller not mutating it before commit)."""
+        if not data:
+            raise PacketError("write needs a payload")
+        if (addr & 3) or (len(data) & 3):
+            raise PacketError("posted write must be dword aligned/granular")
+        if len(data) > 4 * MAX_PAYLOAD_DWORDS:
+            raise PacketError(
+                f"payload {len(data)} exceeds max {4 * MAX_PAYLOAD_DWORDS} bytes"
+            )
+        if addr < 0 or addr >= (1 << PHYS_ADDR_BITS):
+            raise PacketError(f"address {addr:#x} out of range")
+        if mask is not None:
+            # Byte-masked writes are the ragged-edge cold path: keep the
+            # fully validated constructor (mask contents are checked there).
+            self.allocated += 1
+            return make_posted_write(addr, bytes(data), unitid=unitid,
+                                     coherent=coherent, mask=mask)
+        free = self._free
+        if free:
+            pkt = free.pop()
+            self.reused += 1
+        else:
+            # Flyweight: allocate without running dataclass init; the
+            # rarely-touched slots are set once here and scrubbed back to
+            # these defaults by recycle().
+            pkt = Packet.__new__(Packet)
+            self.allocated += 1
+            pkt.srctag = 0
+            pkt.seqid = 0
+            pkt.passpw = False
+            pkt.error = False
+            pkt.mask = None
+            pkt.src_node = None
+            pkt._agg_tag = None
+            pkt._read_count = 1
+        pkt.cmd = Command.WRITE_POSTED
+        pkt.addr = addr
+        pkt.data = data
+        pkt.unitid = unitid
+        pkt.coherent = coherent
+        pkt.inject_time = 0.0
+        pkt._wire = None
+        pkt._crc = None
+        pkt._wire_len = None
+        pkt._pooled = True
+        return pkt
+
+    def recycle(self, pkt: Packet) -> None:
+        """Return a packet at its commit point.  Safe to call on any
+        packet: foreign or already-recycled ones are ignored."""
+        if not pkt._pooled:
+            return
+        pkt._pooled = False
+        self.recycled += 1
+        free = self._free
+        if len(free) < self.MAX_FREE:
+            # Scrub all consumer-visible state so a later checkout can
+            # never observe this packet's payload, caches or tags.
+            pkt.addr = 0
+            pkt.data = b""
+            pkt.mask = None
+            pkt.src_node = None
+            pkt._agg_tag = None
+            pkt._wire = None
+            pkt._crc = None
+            pkt._wire_len = None
+            pkt.inject_time = 0.0
+            pkt.srctag = 0
+            pkt.seqid = 0
+            pkt.passpw = False
+            pkt.error = False
+            free.append(pkt)
+
+
+def pool_for(sim) -> PacketPool:
+    """The per-simulation packet pool (mirrors ``metrics_for``): created
+    on first use, attached to the simulator so its lifetime -- and the
+    ``packets_alloc``/``packets_pooled`` counters -- track one run."""
+    pool = sim._packet_pool
+    if pool is None:
+        pool = sim._packet_pool = PacketPool()
+    return pool

@@ -108,6 +108,13 @@ class Endpoint:
         self.fb_sent_heap = 0
         self.stats = EndpointStats()
         self._m = metrics_for(self.sim)
+        # Metric-name strings are built once: the f-strings showed up in
+        # data-plane profiles when metrics are enabled (every occupancy
+        # sample and stall rebuilt them).
+        self._occ_series = f"msglib.r{self.me}->r{self.peer}.ring_occupancy"
+        self._slot_stall_name = f"msglib.r{self.me}->r{self.peer}.slot_stall_ns"
+        self._heap_stall_name = f"msglib.r{self.me}->r{self.peer}.heap_stall_ns"
+        self._latency_series = f"msglib.r{self.peer}->r{self.me}.latency_ns"
         # Poll-parking state: a doorbell watching my rx ring, re-validated
         # when the process is re-bound to another socket (numactl).
         self._park_chip = None
@@ -126,8 +133,7 @@ class Endpoint:
         if inflight > self.stats.max_inflight_slots:
             self.stats.max_inflight_slots = inflight
         if self._m.enabled:
-            self._m.track(f"msglib.r{self.me}->r{self.peer}.ring_occupancy",
-                          self.sim.now, inflight)
+            self._m.track(self._occ_series, self.sim.now, inflight)
 
     # ------------------------------------------------------------------
     # Send
@@ -189,7 +195,9 @@ class Endpoint:
         else:
             yield from self._wait_heap(need)
         addr = self.tx_heap_addr + offset
-        padded = data.ljust(need, b"\x00")
+        # Already line-granular payloads (the common bulk case) go down the
+        # store path as-is -- ljust would copy the whole message.
+        padded = data if len(data) == need else data.ljust(need, b"\x00")
         if mode == "strict":
             for off in range(0, need, CACHELINE):
                 yield from self.proc.store(addr + off, padded[off : off + CACHELINE])
@@ -228,8 +236,7 @@ class Endpoint:
             yield self.proc.core.chip.timing.poll_iteration_ns
         self.stats.tx_stall_ns += self.sim.now - stall_start
         if self._m.enabled:
-            self._m.inc(f"msglib.r{self.me}->r{self.peer}.slot_stall_ns",
-                        self.sim.now - stall_start)
+            self._m.inc(self._slot_stall_name, self.sim.now - stall_start)
 
     def _wait_heap(self, need: int):
         if self.heap_sent - self.heap_acked + need <= self.cfg.heap_bytes:
@@ -243,8 +250,7 @@ class Endpoint:
             yield self.proc.core.chip.timing.poll_iteration_ns
         self.stats.tx_stall_ns += self.sim.now - stall_start
         if self._m.enabled:
-            self._m.inc(f"msglib.r{self.me}->r{self.peer}.heap_stall_ns",
-                        self.sim.now - stall_start)
+            self._m.inc(self._heap_stall_name, self.sim.now - stall_start)
 
     def _refresh_ack(self):
         raw = yield from self.proc.load(self.tx_fb_addr, 16)
@@ -292,8 +298,7 @@ class Endpoint:
             if sent_at is not None:
                 lat = self.sim.now - sent_at
                 self._m.observe("msglib.message_latency_ns", lat)
-                self._m.observe(
-                    f"msglib.r{self.peer}->r{self.me}.latency_ns", lat)
+                self._m.observe(self._latency_series, lat)
         return bytes(data)
 
     def try_recv(self):

@@ -24,7 +24,8 @@ from .golden import (
     load_golden,
     save_golden,
 )
-from .metrics import LogHistogram, MetricsRegistry, enable_metrics, metrics_for
+from .metrics import (LogHistogram, MetricsRegistry, datapath_counters,
+                      enable_metrics, metrics_for)
 from .report import format_report
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "metrics_for",
     "enable_metrics",
+    "datapath_counters",
     "JsonlExporter",
     "trace_records_to_jsonl",
     "read_jsonl",

@@ -41,6 +41,7 @@ __all__ = [
     "MetricsRegistry",
     "metrics_for",
     "enable_metrics",
+    "datapath_counters",
 ]
 
 
@@ -173,9 +174,14 @@ class MetricsRegistry:
         """Time-weighted sample (occupancy-style) plus max gauge."""
         if not self.enabled:
             return
-        self.accumulator(name).update(time, value)
-        if value > self.gauge_max.get(name, float("-inf")):
-            self.gauge_max[name] = value
+        a = self.accumulators.get(name)
+        if a is None:
+            a = self.accumulators[name] = IntervalAccumulator()
+        a.update(time, value)
+        gm = self.gauge_max
+        prev = gm.get(name)
+        if prev is None or value > prev:
+            gm[name] = value
 
     # -- message latency pairing -----------------------------------------
     def note_send(self, src: int, dst: int, time: float) -> None:
@@ -241,3 +247,23 @@ def enable_metrics(sim) -> MetricsRegistry:
     reg = metrics_for(sim)
     reg.enabled = True
     return reg
+
+
+def datapath_counters(sim, memories=()) -> Dict[str, int]:
+    """Zero-copy data-plane counter family (always-on, registry-free).
+
+    ``packets_alloc``/``packets_pooled``/``packets_recycled`` come from
+    the simulator's :class:`~repro.ht.packet.PacketPool` (zeros before
+    the first posted write); ``bytes_copied`` sums the page-commit copy
+    accounting of the given :class:`~repro.opteron.memory.Memory`
+    objects.  These are *not* part of the golden distilled metrics --
+    they describe the simulator's execution cost, not the model -- and
+    are published by ``benchmarks/bench_wallclock.py``.
+    """
+    pool = getattr(sim, "_packet_pool", None)
+    return {
+        "packets_alloc": pool.allocated if pool is not None else 0,
+        "packets_pooled": pool.reused if pool is not None else 0,
+        "packets_recycled": pool.recycled if pool is not None else 0,
+        "bytes_copied": sum(m.bytes_copied for m in memories),
+    }

@@ -91,14 +91,29 @@ class CpuCore:
             train = plan_train(self, addr, data)
             if train is not None:
                 pos = yield from train.run()
+        # Zero-copy: per-line chunks are memoryview spans into the caller's
+        # (immutable) source buffer; full-line spans ride each packet all
+        # the way to the destination page commit without being copied.
+        mv = memoryview(data)
         while pos < size:
             line = (addr + pos) & ~(CACHELINE - 1)
             offset = (addr + pos) - line
             n = min(CACHELINE - offset, size - pos)
             # Core-side cost of pushing these bytes through the store queue
             # into the WC buffer.
-            yield fill_ns if n == CACHELINE else fill_ns * n / CACHELINE
-            for op in wc.store(addr + pos, data[pos : pos + n]):
+            if n == CACHELINE:
+                yield fill_ns
+                if wc.store_line_stream(line):
+                    # Streaming fast path: the line span goes straight to
+                    # the SRQ as one posted write, skipping the FlushOp.
+                    ev = nb.submit_posted(line, mv[pos : pos + CACHELINE])
+                    if ev is not None:
+                        yield ev
+                    pos += CACHELINE
+                    continue
+            else:
+                yield fill_ns * n / CACHELINE
+            for op in wc.store(addr + pos, mv[pos : pos + n]):
                 ev = nb.submit_posted(op.addr, op.data, op.mask)
                 if ev is not None:
                     yield ev  # posted buffer full: wait for acceptance

@@ -41,6 +41,11 @@ class Memory:
             raise ValueError(f"memory size must be a positive page multiple, got {size}")
         self.size = size
         self._pages: Dict[int, bytearray] = {}
+        #: Payload bytes ever copied into backing pages (the data plane's
+        #: one-copy accounting: on the zero-copy bulk path this is the
+        #: *only* copy a payload byte experiences between the storing
+        #: core's buffer and destination DRAM).
+        self.bytes_copied = 0
 
     def _page(self, pageno: int) -> bytearray:
         page = self._pages.get(pageno)
@@ -55,20 +60,41 @@ class Memory:
                 f"size {self.size:#x}"
             )
 
-    def write(self, offset: int, data: bytes) -> None:
-        self.check_range(offset, len(data))
+    def write(self, offset: int, data) -> None:
+        self.write_span(offset, data)
+
+    def write_span(self, offset: int, data) -> None:
+        """Commit a contiguous run (bytes or memoryview) with one slice op
+        per touched page.
+
+        A straddling run is walked through a memoryview so the per-page
+        chunks are spans, not copies; a run that covers a whole absent
+        page adopts it in a single ``bytearray(span)`` construction (no
+        zero-fill-then-overwrite).  Every byte landing in a page counts
+        toward :attr:`bytes_copied`.
+        """
+        length = len(data)
+        self.check_range(offset, length)
         pageno, inpage = divmod(offset, PAGE_SIZE)
-        if inpage + len(data) <= PAGE_SIZE:
+        if inpage + length <= PAGE_SIZE:
             # Fast path: the write stays inside one page (every cache-line
             # sized transfer does).
-            self._page(pageno)[inpage : inpage + len(data)] = data
+            self._page(pageno)[inpage : inpage + length] = data
+            self.bytes_copied += length
             return
+        mv = data if type(data) is memoryview else memoryview(data)
+        pages = self._pages
         pos = 0
-        while pos < len(data):
+        while pos < length:
             pageno, inpage = divmod(offset + pos, PAGE_SIZE)
-            n = min(PAGE_SIZE - inpage, len(data) - pos)
-            self._page(pageno)[inpage : inpage + n] = data[pos : pos + n]
+            n = min(PAGE_SIZE - inpage, length - pos)
+            chunk = mv[pos : pos + n]
+            if n == PAGE_SIZE and pageno not in pages:
+                pages[pageno] = bytearray(chunk)
+            else:
+                self._page(pageno)[inpage : inpage + n] = chunk
             pos += n
+        self.bytes_copied += length
 
     def write_masked(self, offset: int, data: bytes, mask: bytes) -> None:
         """Byte-enable write: only bytes with mask[i] == 1 are stored."""
@@ -87,11 +113,14 @@ class Memory:
     def read(self, offset: int, length: int) -> bytes:
         self.check_range(offset, length)
         pageno, inpage = divmod(offset, PAGE_SIZE)
-        if inpage + length <= PAGE_SIZE:
-            page = self._pages.get(pageno)
-            if page is None:
-                return bytes(length)
+        page = self._pages.get(pageno)
+        if page is not None and inpage + length <= PAGE_SIZE:
+            # Fast path: one resident page (the polling receive path).
             return bytes(page[inpage : inpage + length])
+        # General path: absent pages -- fully or partially covered -- read
+        # as zeros through the same zero-filled-output rule, so a read
+        # straddling a resident and an absent page cannot diverge from a
+        # read of the absent page alone.
         out = bytearray(length)
         pos = 0
         while pos < length:
@@ -137,6 +166,8 @@ class MemoryController:
         self.memory = memory
         self.timing = timing
         self.name = name
+        self._wr_name = f"{name}.write"
+        self._rd_name = f"{name}.read"
         self.tracer: Tracer = NULL_TRACER
         self._busy_until = 0.0
         #: (lo, hi, doorbell) ranges rung when a write commits inside them
@@ -174,33 +205,38 @@ class MemoryController:
         self._busy_until = end = start + self._occupancy_ns(nbytes)
         return end
 
-    def write(self, offset: int, data: bytes, mask: Optional[bytes] = None) -> Event:
+    def write(self, offset: int, data, mask: Optional[bytes] = None) -> Event:
         """Timed write; the returned event fires when the data is in DRAM.
 
-        ``mask`` selects byte enables (HT sized-byte writes).
+        ``mask`` selects byte enables (HT sized-byte writes).  ``data`` is
+        held *by reference* until the commit instant -- the caller must
+        not mutate it in the meantime (packet payloads and memoryview
+        spans into immutable source buffers satisfy this by construction;
+        see DESIGN.md "Data-plane memory model").
         """
-        done = self.sim.event(name=f"{self.name}.write")
+        done = self.sim.event(name=self._wr_name)
         # The port is held only for the transfer (bandwidth sharing); the
         # access latency is pipelined behind it, as in a real controller.
         complete = self._claim_port(len(data)) + self.timing.dram_write_ns
         self.sim._push(complete, self._commit_write,
-                       (offset, bytes(data), mask, done))
+                       (offset, data, mask, done))
         return done
 
-    def write_posted(self, offset: int, data: bytes,
+    def write_posted(self, offset: int, data,
                      mask: Optional[bytes] = None) -> None:
         """Fire-and-forget timed write: commit timing and semantics are
         identical to :meth:`write`, but no completion event is allocated
         (the hot posted-write paths never wait on one, and a triggered
-        event with no callbacks still costs a calendar dispatch)."""
+        event with no callbacks still costs a calendar dispatch).  The
+        same hold-by-reference contract as :meth:`write` applies."""
         complete = self._claim_port(len(data)) + self.timing.dram_write_ns
         self.sim._push(complete, self._commit_write,
-                       (offset, bytes(data), mask, None))
+                       (offset, data, mask, None))
 
-    def _commit_write(self, offset: int, data: bytes, mask: Optional[bytes],
+    def _commit_write(self, offset: int, data, mask: Optional[bytes],
                       done: Optional[Event]) -> None:
         if mask is None:
-            self.memory.write(offset, data)
+            self.memory.write_span(offset, data)
         else:
             self.memory.write_masked(offset, data, mask)
         self.writes += 1
@@ -222,7 +258,7 @@ class MemoryController:
         ``uncached`` selects the UC latency (cache-bypassing polling path)
         versus the ordinary cache-miss fill latency.
         """
-        done = self.sim.event(name=f"{self.name}.read")
+        done = self.sim.event(name=self._rd_name)
         base = self.timing.dram_read_uc_ns if uncached else self.timing.dram_read_ns
         complete = self._claim_port(length) + base
         self.sim._push(complete, self._commit_read, (offset, length, done))

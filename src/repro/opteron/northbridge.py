@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..ht.link import Link, LinkSide
-from ..ht.packet import Command, Packet, make_posted_write, make_read, make_read_response, make_target_done
+from ..ht.packet import Command, Packet, make_read, make_read_response, make_target_done, pool_for
 from ..ht.tags import ResponseMatchingTable, UnroutableResponseError
 from ..obs.metrics import metrics_for
 from ..sim import Counter, Event, Simulator, Store
@@ -140,6 +140,15 @@ class Northbridge:
         self._dram_ready_cache: Optional[bool] = None
         self._local_bases: Optional[List[Tuple[int, int, int]]] = None
         self._route_table: Optional[List[tuple]] = None
+        #: Set on any ADDRESS_MAP register write; the (expensive) BKDG
+        #: bitfield decode is deferred to the next route/translate --
+        #: firmware boot rewrites the maps dozens of times before the
+        #: first packet ever consults them.
+        self._maps_dirty = False
+        #: Flyweight posted-write packets (shared per simulation).
+        self._pool = pool_for(sim)
+        self._depth_series = f"{self.name}.posted_q_depth"
+        self._cpu_read_name = f"{self.name}.cpu_read"
         self.regs.add_write_hook(self._on_reg_write)
         self.reload_maps()
 
@@ -152,9 +161,18 @@ class Northbridge:
         self._local_bases = None
         self._route_table = None
         if func == Function.ADDRESS_MAP:
+            self._maps_dirty = True
+
+    def _ensure_maps(self) -> None:
+        """Decode pending ADDRESS_MAP programming.  The decode is
+        register-pure (no virtual time passes), so deferring it from the
+        register write to the first consumer is observationally
+        identical."""
+        if self._maps_dirty:
             self.reload_maps()
 
     def reload_maps(self) -> None:
+        self._maps_dirty = False
         dram: List[_DramEntry] = []
         mmio: List[_MmioEntry] = []
         for i in range(regs_mod.NUM_MAP_ENTRIES):
@@ -183,6 +201,7 @@ class Northbridge:
         also requires each node's map to be hole-free over the global
         space; that cluster-level property is checked by
         :func:`repro.topology.address_assignment.validate_node_map`."""
+        self._ensure_maps()
         prev_limit = 0
         prev = None
         for e in self._dram_entries:
@@ -223,6 +242,7 @@ class Northbridge:
         """
         tbl = self._route_table
         if tbl is None:
+            self._ensure_maps()
             tbl = self._route_table = self._build_route_table()
         for base, limit, result, re_, we in tbl:
             if base <= addr < limit:
@@ -266,6 +286,7 @@ class Northbridge:
         multiple local ranges (offsets accumulate in base order)."""
         bases = self._local_bases
         if bases is None:
+            self._ensure_maps()
             my = self.nodeid
             bases = []
             running = 0
@@ -316,8 +337,8 @@ class Northbridge:
             # A foreign submit invalidates the train's schedule: demote to
             # per-packet state before this packet touches the queue.
             self._train.abort(self.sim._now)
-        pkt = make_posted_write(addr, data, unitid=self.nodeid, coherent=True,
-                                mask=mask)
+        pkt = self._pool.posted_write(addr, data, unitid=self.nodeid,
+                                      coherent=True, mask=mask)
         pkt.inject_time = self.sim._now
         if self.posted_q.try_put(pkt):
             return None
@@ -326,9 +347,44 @@ class Northbridge:
     def cpu_read(self, addr: int, length: int, uncached: bool = True) -> Event:
         """A core load.  Local DRAM and remote coherent DRAM work; reads
         into TCCluster MMIO windows violate the writes-only rule."""
-        done = self.sim.event(name=f"{self.name}.cpu_read")
-        self.sim.process(self._do_cpu_read(addr, length, uncached, done))
+        done = self.sim.event(name=self._cpu_read_name)
+        # Readable local DRAM (the UC polling receive path, by far the
+        # hottest read case) runs as a lean calendar-callback chain with
+        # exactly the calendar entries and virtual times of the coroutine
+        # below -- minus the per-load Process/generator allocation and
+        # trampoline.  Everything else (remote, MMIO, faults) keeps the
+        # full coroutine.
+        r = self.route(addr)
+        if r.kind is RouteKind.DRAM_LOCAL and r.readable:
+            sim = self.sim
+            sim._push(sim._now, self._cpu_read_local_start,
+                      (addr, length, uncached, done))
+        else:
+            self.sim.process(self._do_cpu_read(addr, length, uncached, done))
         return done
+
+    def _cpu_read_local_start(self, addr: int, length: int, uncached: bool,
+                              done: Event) -> None:
+        """Entry 1 of the local-read chain (the coroutine's start hop)."""
+        sim = self.sim
+        sim._push(sim._now + self.timing.nb_request_ns,
+                  self._cpu_read_local_issue, (addr, length, uncached, done))
+
+    def _cpu_read_local_issue(self, addr: int, length: int, uncached: bool,
+                              done: Event) -> None:
+        """Entry 2: crossbar latency elapsed; issue at the controller."""
+        if not self._dram_ready():
+            done.fail(MasterAbort(
+                f"{self.name}: DRAM accessed before memory init"
+            ))
+            return
+        ev = self.chip.memctrl.read(self._local_offset(addr), length, uncached)
+
+        def _complete(ev: Event, done=done, counters=self.counters) -> None:
+            counters.inc("local_reads")
+            done.succeed(ev.value)
+
+        ev.add_callback(_complete)
 
     def _do_cpu_read(self, addr: int, length: int, uncached: bool, done: Event):
         r = self.route(addr)
@@ -453,26 +509,36 @@ class Northbridge:
         # decode is register-pure (no virtual time passes in route()), so
         # sampling it before the sleep is observationally identical.
         tx_step = t.nb_request_ns + t.nb_iobridge_ns
+        req_step = t.nb_request_ns
+        posted_q = self.posted_q
+        m = self._m
+        sim = self.sim
+        route = self.route
+        counters_inc = self.counters.inc
+        memctrl = self.chip.memctrl
+        pool_recycle = self._pool.recycle
         while True:
-            ok, pkt = self.posted_q.try_get()
+            ok, pkt = posted_q.try_get()
             if not ok:
-                pkt = yield self.posted_q.get()
-            if self._m.enabled:
-                self._m.track(f"{self.name}.posted_q_depth",
-                              self.sim.now, len(self.posted_q))
-            r = self.route(pkt.addr)
+                pkt = yield posted_q.get()
+            if m.enabled:
+                m.track(self._depth_series, sim.now, len(posted_q._items))
+            r = route(pkt.addr)
             if not r.writable and r.kind is not RouteKind.NONE:
-                yield t.nb_request_ns
-                self.counters.inc("write_to_readonly")
+                yield req_step
+                counters_inc("write_to_readonly")
                 continue
             if r.kind is RouteKind.DRAM_LOCAL:
-                yield t.nb_request_ns
+                yield req_step
                 if not self._dram_ready():
-                    self.counters.inc("dram_uninitialized")
+                    counters_inc("dram_uninitialized")
                     continue
-                self.chip.memctrl.write_posted(self._local_offset(pkt.addr),
-                                               pkt.data, pkt.mask)
-                self.counters.inc("local_writes")
+                memctrl.write_posted(self._local_offset(pkt.addr),
+                                     pkt.data, pkt.mask)
+                # Commit point: the calendar entry holds the payload span
+                # itself, so the packet shell can be reused immediately.
+                pool_recycle(pkt)
+                counters_inc("local_writes")
             elif r.kind is RouteKind.MMIO_LOCAL_LINK:
                 # The TCCluster transmit path: an MMIO window homed at this
                 # node whose DstLink points straight out of the chip.
@@ -481,57 +547,78 @@ class Northbridge:
                 ev = self._send_on_port_fast(r.dst_link, pkt)
                 if ev is not None:
                     yield ev
-                self.counters.inc("mmio_writes")
+                counters_inc("mmio_writes")
             elif r.kind is RouteKind.DRAM_REMOTE:
-                yield t.nb_request_ns
+                yield req_step
                 port = self._fabric_port_for(r.dst_node)
                 ev = self._send_on_port_fast(port, pkt)
                 if ev is not None:
                     yield ev
-                self.counters.inc("fabric_writes")
+                counters_inc("fabric_writes")
             elif r.kind is RouteKind.MMIO_REMOTE:
                 # MMIO homed at another fabric node: one coherent hop
                 # first, counted apart from plain DRAM fabric writes.
-                yield t.nb_request_ns
+                yield req_step
                 port = self._fabric_port_for(r.dst_node)
                 ev = self._send_on_port_fast(port, pkt)
                 if ev is not None:
                     yield ev
-                self.counters.inc("fabric_writes")
-                self.counters.inc("mmio_remote_writes")
+                counters_inc("fabric_writes")
+                counters_inc("mmio_remote_writes")
             else:
-                yield t.nb_request_ns
-                self.counters.inc("master_aborts")
+                yield req_step
+                counters_inc("master_aborts")
 
     def _rx_loop(self, port: int):
         """Process packets arriving on one link."""
         binding = self.chip.ports[port]
         link, side = binding.link, binding.side
         t = self.timing
+        req_step = t.nb_request_ns
+        rx_convert_step = t.nb_request_ns + t.nb_iobridge_ns
+        try_receive = link.try_receive
+        receive = link.receive
+        route = self.route
+        counters_inc = self.counters.inc
+        memctrl = self.chip.memctrl
+        pool_recycle = self._pool.recycle
+        local_offset = self._local_offset
         while True:
             # Fast path: a packet already waiting is consumed inline (the
             # credit returns immediately instead of via a callback event).
-            ok, pkt = link.try_receive(side)
+            ok, pkt = try_receive(side)
             if not ok:
-                pkt = yield link.receive(side)
+                pkt = yield receive(side)
             if pkt.cmd is Command.BROADCAST:
-                yield t.nb_request_ns
+                yield req_step
                 self.broadcast(pkt, exclude_port=port)
-                self.counters.inc("broadcasts_received")
+                counters_inc("broadcasts_received")
                 continue
             if pkt.cmd.is_response:
                 yield from self._handle_response(pkt, port)
                 continue
-            r = self.route(pkt.addr)
+            r = route(pkt.addr)
             if r.kind is RouteKind.DRAM_LOCAL:
                 if pkt.coherent:
-                    yield t.nb_request_ns
+                    yield req_step
                 else:
                     # IO bridge: non-coherent -> coherent conversion,
                     # folded into the crossbar sleep (one calendar entry).
-                    yield t.nb_request_ns + t.nb_iobridge_ns
+                    yield rx_convert_step
                     pkt.coherent = True
-                yield from self._local_access(pkt, port)
+                cmd = pkt.cmd
+                if ((cmd is Command.WRITE_POSTED
+                     or cmd is Command.WRITE_POSTED_BYTE)
+                        and self._dram_ready()):
+                    # Posted-write destination commit, inlined: the bulk
+                    # data plane lands here once per packet, so skipping
+                    # the _local_access generator frame is worth it.
+                    memctrl.write_posted(local_offset(pkt.addr),
+                                         pkt.data, pkt.mask)
+                    pool_recycle(pkt)
+                    counters_inc("rx_writes")
+                else:
+                    yield from self._local_access(pkt, port)
             elif r.kind in (RouteKind.MMIO_LOCAL_LINK, RouteKind.MMIO_REMOTE,
                             RouteKind.DRAM_REMOTE):
                 if r.kind is RouteKind.MMIO_LOCAL_LINK:
@@ -545,14 +632,14 @@ class Northbridge:
                     yield t.nb_forward_ns
                     out_port = self._fabric_port_for(r.dst_node)
                 if out_port == port:
-                    self.counters.inc("routing_loops")
+                    counters_inc("routing_loops")
                     continue
                 ev = self._send_on_port_fast(out_port, pkt)
                 if ev is not None:
                     yield ev
-                self.counters.inc("forwarded")
+                counters_inc("forwarded")
             else:
-                self.counters.inc("master_aborts")
+                counters_inc("master_aborts")
 
     def _dram_ready(self) -> bool:
         ready = self._dram_ready_cache
@@ -574,6 +661,9 @@ class Northbridge:
             offset = self._local_offset(pkt.addr)
         if pkt.is_write and pkt.cmd.is_posted:
             self.chip.memctrl.write_posted(offset, pkt.data, pkt.mask)
+            # Destination commit point of the TCCluster data plane: hand
+            # the packet shell back (no-op for constructor-built packets).
+            self._pool.recycle(pkt)
             self.counters.inc("rx_writes")
             return
         if pkt.is_write:

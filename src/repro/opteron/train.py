@@ -195,6 +195,10 @@ class BulkTrain:
         self.nb = core.chip.nb
         self.addr = addr
         self.data = data
+        #: Zero-copy line spans into the (immutable) source buffer; both
+        #: the receiver-side commits and demotion-rebuilt packets slice
+        #: this instead of copying 64 bytes per line.
+        self._mv = memoryview(data)
         self.K = nlines
         self.port = binding.port
         self.link = binding.link
@@ -402,7 +406,7 @@ class BulkTrain:
         base = i * CACHELINE
         self.dest_nb.counters.inc("rx_writes")
         self.dest_mc.write_posted(self._offs[i],
-                                  self.data[base:base + CACHELINE])
+                                  self._mv[base:base + CACHELINE])
         j = i + 1
         if j < self.cut:
             self._chain_idx = j
@@ -435,9 +439,10 @@ class BulkTrain:
     # Demotion
     # ------------------------------------------------------------------
     def _make_pkt(self, i: int, coherent: bool):
-        pkt = make_posted_write(self.addr + i * CACHELINE,
-                                self.data[i * CACHELINE:(i + 1) * CACHELINE],
-                                unitid=self.nb.nodeid, coherent=coherent)
+        pkt = self.nb._pool.posted_write(
+            self.addr + i * CACHELINE,
+            self._mv[i * CACHELINE:(i + 1) * CACHELINE],
+            unitid=self.nb.nodeid, coherent=coherent)
         pkt.inject_time = self.fill_done[i]
         return pkt
 
@@ -627,7 +632,7 @@ class BulkTrain:
         core = self.core
         base = f * CACHELINE
         for op in core.wc.store(self.addr + base,
-                                self.data[base:base + CACHELINE]):
+                                self._mv[base:base + CACHELINE]):
             ev = self.nb.submit_posted(op.addr, op.data, op.mask)
             if ev is not None:
                 yield ev

@@ -41,6 +41,13 @@ class FlushOp:
     ``mask`` (0/1 per byte) is set when the drained run is ragged at a
     dword boundary -- the hardware then emits an HT sized-*byte* write so
     that no stale buffer bytes clobber remote memory.
+
+    ``data`` may be a read-only :class:`memoryview` span into the storing
+    core's source buffer: the streaming fast path (aligned full-line store
+    to a closed line) forwards the caller's span untouched, which is what
+    makes the bulk data plane one-copy.  Ops drained out of a *buffer* are
+    always ``bytes`` copies -- the backing bytearray is reused by later
+    stores, so a span into it would alias live mutable state.
     """
 
     addr: int
@@ -117,6 +124,22 @@ class WriteCombiner:
     def __len__(self) -> int:
         return len(self._buffers)
 
+    def store_line_stream(self, line: int) -> bool:
+        """Claim the streaming fast path for an aligned full-line store.
+
+        True when ``line`` is closed and a buffer slot is free: the
+        allocate-fill-drain collapse of :meth:`_store_line` applies, the
+        fill/flush accounting is recorded here, and the *caller* forwards
+        the payload span as one posted write -- no ``FlushOp`` (a frozen
+        dataclass, measurably expensive per line at bulk-transfer rates)
+        is materialized.  False means the caller must take :meth:`store`.
+        """
+        if line not in self._buffers and len(self._buffers) < self.num_buffers:
+            self.fills += 1
+            self.full_flushes += 1
+            return True
+        return False
+
     def store(self, addr: int, data: bytes) -> List[FlushOp]:
         """Absorb a store; returns any flush operations it caused.
 
@@ -143,6 +166,8 @@ class WriteCombiner:
             # Aligned full-line store to a closed line with a buffer free:
             # allocate-fill-drain collapses to a single posted write with
             # no buffer state ever materialized (the streaming hot path).
+            # ``data`` is forwarded as-is -- a memoryview span stays a
+            # span, so the payload is not copied here (see FlushOp).
             self.fills += 1
             self.full_flushes += 1
             return [FlushOp(line, data)]

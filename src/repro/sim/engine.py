@@ -348,7 +348,53 @@ class Process(Event):
         if self._waiting_on is not ev:
             return  # stale wakeup (we were interrupted meanwhile)
         self._waiting_on = None
-        self._step(ev.value, throw=not ev.ok)
+        if ev._ok is not True:
+            self._step(ev._value, throw=True)
+            return
+        # Success resume, inlined from _step (one frame per event wake is
+        # real money; the duplicated tail below must stay in lockstep with
+        # _step and _sleep_wake).
+        try:
+            target = self.gen.send(ev._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise SimulationError(
+                f"process {self.name!r} did not handle an Interrupt"
+            )
+        tt = type(target)
+        if tt is float or tt is int:
+            if target < 0:
+                raise ValueError(f"negative timeout delay: {target!r}")
+            sim = self.sim
+            self._wake_token = token = self._wake_token + 1
+            sim._seq += 1
+            sim._push_count += 1
+            _heappush(sim._heap,
+                      (sim._now + target, sim._seq, self._sleep_wake, (token,)))
+            return
+        if target is None:
+            sim = self.sim
+            self._wake_token = token = self._wake_token + 1
+            sim._seq += 1
+            sim._push_count += 1
+            _heappush(sim._heap,
+                      (sim._now, sim._seq, self._sleep_wake, (token,)))
+            return
+        if type(target) is Event or isinstance(target, Event):
+            self._waiting_on = target
+            cbs = target._callbacks
+            if cbs is None:
+                sim = self.sim
+                sim._push(sim._now, self._on_wait_done, (target,))
+                return
+            cbs.append(self._on_wait_done)
+            if target._triggered and not target._scheduled:
+                target._scheduled = True
+                target.sim._schedule_event(target)
+            return
+        self._wait_for(target)
 
     def _step(self, value: Any, throw: bool = False) -> None:
         try:
@@ -389,6 +435,20 @@ class Process(Event):
             _heappush(sim._heap,
                       (sim._now, sim._seq, self._sleep_wake, (token,)))
             return
+        # Event waits are the third dominant yield kind; registering the
+        # wake callback inline sheds the _wait_for frame.
+        if type(target) is Event or isinstance(target, Event):
+            self._waiting_on = target
+            cbs = target._callbacks
+            if cbs is None:
+                sim = self.sim
+                sim._push(sim._now, self._on_wait_done, (target,))
+                return
+            cbs.append(self._on_wait_done)
+            if target._triggered and not target._scheduled:
+                target._scheduled = True
+                target.sim._schedule_event(target)
+            return
         self._wait_for(target)
 
     def _wait_for(self, target: Any) -> None:
@@ -414,12 +474,63 @@ class Process(Event):
                 f"{target!r} (expected Event, Process, number or None)"
             )
         self._waiting_on = target
-        target.add_callback(self._on_wait_done)
+        # Inlined target.add_callback(self._on_wait_done): one method call
+        # per event wait is real money on the packet-stream hot path.
+        cbs = target._callbacks
+        if cbs is None:
+            self.sim.schedule(0.0, self._on_wait_done, target)
+            return
+        cbs.append(self._on_wait_done)
+        if target._triggered and not target._scheduled:
+            target._scheduled = True
+            target.sim._schedule_event(target)
 
     def _sleep_wake(self, token: int) -> None:
         if self._triggered or token != self._wake_token:
             return  # stale entry (interrupted meanwhile)
-        self._step(None)
+        # Sleep resume, inlined from _step (the single hottest calendar
+        # callback; see the lockstep note in _on_wait_done).
+        try:
+            target = self.gen.send(None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise SimulationError(
+                f"process {self.name!r} did not handle an Interrupt"
+            )
+        tt = type(target)
+        if tt is float or tt is int:
+            if target < 0:
+                raise ValueError(f"negative timeout delay: {target!r}")
+            sim = self.sim
+            self._wake_token = token = self._wake_token + 1
+            sim._seq += 1
+            sim._push_count += 1
+            _heappush(sim._heap,
+                      (sim._now + target, sim._seq, self._sleep_wake, (token,)))
+            return
+        if target is None:
+            sim = self.sim
+            self._wake_token = token = self._wake_token + 1
+            sim._seq += 1
+            sim._push_count += 1
+            _heappush(sim._heap,
+                      (sim._now, sim._seq, self._sleep_wake, (token,)))
+            return
+        if type(target) is Event or isinstance(target, Event):
+            self._waiting_on = target
+            cbs = target._callbacks
+            if cbs is None:
+                sim = self.sim
+                sim._push(sim._now, self._on_wait_done, (target,))
+                return
+            cbs.append(self._on_wait_done)
+            if target._triggered and not target._scheduled:
+                target._scheduled = True
+                target.sim._schedule_event(target)
+            return
+        self._wait_for(target)
 
 
 class Simulator:
@@ -438,6 +549,11 @@ class Simulator:
         self._push_count: int = 0
         self._running = False
         self.features = SimFeatures()
+        #: Lazily attached per-simulation object pools (data-plane flyweight
+        #: packets; see :func:`repro.ht.packet.pool_for`).  Owned here so a
+        #: pool's lifetime is exactly the simulation's lifetime: a fresh
+        #: simulator can never see recycled objects from a previous run.
+        self._packet_pool = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -493,8 +609,10 @@ class Simulator:
 
     def _schedule_event(self, ev: Event, delay: float = 0.0) -> None:
         # No argument tuple to build or unpack for the (dominant) event
-        # dispatch entries.
-        self._push(self._now + delay, ev._dispatch, None)
+        # dispatch entries; _push is inlined (one frame per dispatch).
+        self._seq += 1
+        self._push_count += 1
+        _heappush(self._heap, (self._now + delay, self._seq, ev._dispatch, None))
 
     # -- factories ---------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -585,25 +703,44 @@ class Simulator:
         cancelled = self._cancelled
         executed = 0
         try:
-            while not ev._triggered:
-                if not heap:
-                    raise DeadlockError(
-                        f"no more events but {ev.name!r} never triggered"
-                    )
-                t, _seq, fn, args = heappop(heap)
-                if cancelled and _seq in cancelled:
-                    cancelled.remove(_seq)
-                    continue
-                if limit is not None and t > limit:
-                    raise DeadlockError(
-                        f"time limit {limit} exceeded waiting for {ev.name!r}"
-                    )
-                self._now = t
-                if args:
-                    fn(*args)
-                else:
-                    fn()
-                executed += 1
+            if limit is None:
+                # Specialized unlimited loop: no per-entry limit compare on
+                # the dominant call shape.
+                while not ev._triggered:
+                    if not heap:
+                        raise DeadlockError(
+                            f"no more events but {ev.name!r} never triggered"
+                        )
+                    t, _seq, fn, args = heappop(heap)
+                    if cancelled and _seq in cancelled:
+                        cancelled.remove(_seq)
+                        continue
+                    self._now = t
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                    executed += 1
+            else:
+                while not ev._triggered:
+                    if not heap:
+                        raise DeadlockError(
+                            f"no more events but {ev.name!r} never triggered"
+                        )
+                    t, _seq, fn, args = heappop(heap)
+                    if cancelled and _seq in cancelled:
+                        cancelled.remove(_seq)
+                        continue
+                    if t > limit:
+                        raise DeadlockError(
+                            f"time limit {limit} exceeded waiting for {ev.name!r}"
+                        )
+                    self._now = t
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                    executed += 1
         finally:
             self._event_count += executed
             self._running = False

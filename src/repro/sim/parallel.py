@@ -45,6 +45,7 @@ __all__ = [
     "run_sweep",
     "merge_snapshots",
     "resolve_jobs",
+    "usable_cpus",
 ]
 
 #: Environment variable consulted by :func:`resolve_jobs`.
@@ -169,6 +170,24 @@ class SweepReport:
                 for pid, st in sorted(self.worker_stats.items())
             },
         }
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; a container/cgroup or
+    taskset-restricted CI runner may only be allowed one of them, in
+    which case a serial-vs-pool wall-clock comparison measures pool
+    *overhead*, not scale-out (the misleading "0.94x speedup").  Callers
+    benchmarking pool speedup should skip the comparison when this
+    returns 1 (see ``bench_wallclock.bench_fig6_full_sweep``).
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 
 def resolve_jobs(explicit: Optional[Any] = None) -> int:

@@ -338,13 +338,14 @@ class Gate:
         self.name = name
         self._open = open_
         self._waiters: List[Event] = []
+        self._wait_name = f"{name}.wait"
 
     @property
     def is_open(self) -> bool:
         return self._open
 
     def wait(self) -> Event:
-        ev = Event(self.sim, name=f"{self.name}.wait")
+        ev = Event(self.sim, name=self._wait_name)
         if self._open:
             ev.succeed()
         else:
@@ -383,6 +384,9 @@ class Doorbell:
         self.name = name
         self.count = 0
         self._waiters: List[Event] = []
+        # Precomputed: endpoint polling parks on the doorbell once per
+        # received message and per-wait f-strings show up in profiles.
+        self._wait_name = f"{name}.wait"
 
     def ring(self) -> None:
         """Signal waiters (and future ``wait(seen)`` calls) that the
@@ -396,7 +400,7 @@ class Doorbell:
     def wait(self, seen: int) -> Event:
         """Event that fires (with the current count) once ``count`` has
         advanced past the snapshot ``seen``."""
-        ev = Event(self.sim, name=f"{self.name}.wait")
+        ev = Event(self.sim, name=self._wait_name)
         if self.count != seen:
             ev.succeed(self.count)
         else:

@@ -71,6 +71,53 @@ def test_memory_matches_reference_model(writes):
     assert mem.read(0, 1 << 16) == bytes(ref)
 
 
+def test_memory_read_straddling_resident_and_absent_pages():
+    """Regression: a read crossing from a resident page into an absent one
+    (and vice versa) must see the resident bytes plus zeros -- the unified
+    zero-filled-output branch, not a short or shifted result."""
+    mem = Memory(1 << 20)
+    mem.write(PAGE_SIZE - 8, b"\xAA" * 8)  # page 0 resident, page 1 absent
+    assert mem.read(PAGE_SIZE - 8, 16) == b"\xAA" * 8 + b"\x00" * 8
+    # Mirror image: absent page 0, resident page 1.
+    mem2 = Memory(1 << 20)
+    mem2.write(PAGE_SIZE, b"\xBB" * 8)
+    assert mem2.read(PAGE_SIZE - 8, 16) == b"\x00" * 8 + b"\xBB" * 8
+    # Fully absent middle page between two resident neighbours.
+    mem3 = Memory(1 << 20)
+    mem3.write(PAGE_SIZE - 4, b"\x11" * 4)
+    mem3.write(2 * PAGE_SIZE, b"\x22" * 4)
+    got = mem3.read(PAGE_SIZE - 4, PAGE_SIZE + 8)
+    assert got == b"\x11" * 4 + b"\x00" * PAGE_SIZE + b"\x22" * 4
+
+
+def test_write_span_accepts_memoryview_and_counts_one_copy():
+    mem = Memory(1 << 20)
+    src = bytes(range(256)) * 2
+    mem.write_span(0x100, memoryview(src))
+    assert mem.read(0x100, len(src)) == src
+    assert mem.bytes_copied == len(src)
+
+
+def test_write_span_straddling_pages_counts_every_byte_once():
+    mem = Memory(1 << 20)
+    data = bytes(range(200))
+    mem.write_span(PAGE_SIZE - 100, data)
+    assert mem.read(PAGE_SIZE - 100, 200) == data
+    assert mem.bytes_copied == 200
+
+
+def test_write_span_adopts_whole_absent_page():
+    """A span covering an entire absent page becomes that page's backing
+    store in one construction (no zero-fill-then-overwrite double cost);
+    the result and the copy accounting are identical either way."""
+    mem = Memory(1 << 20)
+    data = bytes((i * 7) & 0xFF for i in range(2 * PAGE_SIZE))
+    mem.write_span(0, memoryview(data))  # pages 0 and 1 both absent
+    assert mem.read(0, len(data)) == data
+    assert mem.bytes_copied == len(data)
+    assert mem.resident_bytes == 2 * PAGE_SIZE
+
+
 def test_memctrl_write_timing():
     sim = Simulator()
     mem = Memory(1 << 20)
