@@ -31,7 +31,8 @@ from ..firmware import (
 )
 from ..kernel import Kernel, UserProcess
 from ..msglib import MessageLibrary, MsgConfig
-from ..obs.metrics import MetricsRegistry, metrics_for
+from ..ht.link import LinkState
+from ..obs.metrics import MetricsRegistry, fault_counters, metrics_for
 from ..obs.report import format_report
 from ..opteron import OpteronChip, wire_link
 from ..sim import Barrier, Simulator
@@ -220,6 +221,33 @@ class TCCluster:
         if not self.ready:
             raise ClusterError("call boot() first")
 
+    # ------------------------------------------------------------------
+    # Fault orchestration (see repro.faults)
+    # ------------------------------------------------------------------
+    def crash_node(self, rank: int) -> None:
+        """Hard-stop ``rank``'s chip: every HT port (coherent, TCC and
+        southbridge alike) drops at once, NAK'ing in-flight packets back
+        to their senders.  The node stays down until
+        :meth:`rejoin_node` warm-resets it back in."""
+        self._require_ready()
+        info = self.ranks[rank]
+        for binding in info.chip.ports.values():
+            if binding.link.state != LinkState.DOWN:
+                binding.link.bring_down()
+        fault_counters(self.sim).node_crashes += 1
+
+    def rejoin_node(self, rank: int):
+        """Warm-reset rejoin of a crashed ``rank`` (a sim process).
+
+        Re-runs the firmware link bring-up for the chip's ports through
+        the same warm-reset path cold boot used, restoring the
+        registered width/frequency personas.  Permanently dead TCC links
+        are skipped -- they stay routed-around."""
+        self._require_ready()
+        info = self.ranks[rank]
+        yield from self.firmwares[info.supernode].warm_rejoin(info.chip_index)
+        fault_counters(self.sim).node_rejoins += 1
+
     def run(self, *args, **kwargs):
         return self.sim.run(*args, **kwargs)
 
@@ -287,6 +315,7 @@ class TCCluster:
             "write_combining": wc,
             "message_latency_ns": (latency.to_dict() if latency is not None
                                    else {"count": 0}),
+            "faults": fault_counters(self.sim).as_dict(),
             "registry": reg.snapshot(now),
         }
 

@@ -1,0 +1,35 @@
+"""Deterministic fault injection and recovery orchestration.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` -- :class:`FaultPlan`, a declarative, seedable
+  schedule of :class:`FaultEvent` items (link flap, permanent link death,
+  node crash, node warm-reset rejoin, credit stall, BER storm),
+* :mod:`repro.faults.injector` -- :class:`FaultInjector`, which arms a
+  plan's events on a booted :class:`~repro.cluster.system.TCCluster`'s
+  calendar and performs the state transitions,
+* :mod:`repro.faults.routes` -- :class:`RouteManager`, the recovery-side
+  interval-routing recomputation that reprograms every supernode's MMIO
+  windows around permanently dead links (and raises a sync-flood-style
+  fatal broadcast when no route remains).
+
+Everything is driven by the simulation calendar and a caller-provided
+seed: the same plan against the same cluster always produces the same
+event sequence (the chaos harness in ``tests/test_chaos.py`` relies on
+this).  An empty plan arms nothing and perturbs nothing -- fault-free
+runs stay bit-identical.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultEvent, FaultKind, FaultPlan, FaultPlanError
+from .routes import RouteError, RouteManager
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultInjector",
+    "RouteManager",
+    "RouteError",
+]

@@ -1,0 +1,147 @@
+"""Arms a :class:`~repro.faults.plan.FaultPlan` on a cluster's calendar.
+
+The injector is a thin dispatch layer: every :class:`FaultEvent` becomes
+one ``sim.schedule`` entry whose callback performs the state transition
+(drop a link, steal credits, raise the BER, crash a node...).  Recovery
+is *not* the injector's job -- the link FSMs, the northbridge fault
+forwarder, the msglib retransmit path and the :class:`RouteManager` do
+that; the injector only breaks things, deterministically.
+
+Targets are taken modulo the population (``cluster.tcc_links`` for link
+kinds, ranks for node kinds), so a randomly drawn plan fits any cluster.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..ht.link import Link
+from ..ht.linkinit import LinkInitFSM
+from ..obs.metrics import fault_counters
+from .plan import FaultEvent, FaultKind, FaultPlan, FaultPlanError
+from .routes import RouteManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.system import TCCluster
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a plan's faults against a booted cluster.
+
+    ``arm()`` pushes every event onto the calendar; the simulation then
+    runs normally and faults fire interleaved with the workload.  The
+    same plan armed at the same sim time on the same cluster produces
+    the same perturbation sequence -- an empty plan schedules nothing
+    and leaves the run bit-identical to a fault-free one.
+    """
+
+    def __init__(self, cluster: "TCCluster", plan: FaultPlan,
+                 route_manager: Optional[RouteManager] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.plan = plan
+        self.routes = route_manager or RouteManager(cluster)
+        #: ``(fire_time_ns, event)`` log of everything actually injected.
+        self.fired: List[Tuple[float, FaultEvent]] = []
+
+    # ------------------------------------------------------------------
+    def arm(self) -> int:
+        """Schedule every plan event, ``at_ns`` relative to *now*.
+
+        Plans are armed after boot, whose duration depends on topology
+        and timing model -- relative offsets keep one plan meaningful
+        across clusters.  Returns the number of events armed.
+        """
+        sim = self.sim
+        for ev in self.plan.sorted_events():
+            sim.schedule(ev.at_ns, self._fire, ev)
+        return len(self.plan)
+
+    # ------------------------------------------------------------------
+    def _link_of(self, ev: FaultEvent) -> Link:
+        links = self.cluster.tcc_links
+        if not links:
+            raise FaultPlanError("cluster has no TCC links to fault")
+        return links[ev.target % len(links)]
+
+    def _rank_of(self, ev: FaultEvent) -> int:
+        nranks = sum(len(b.chips) for b in self.cluster.boards)
+        return ev.target % nranks
+
+    @staticmethod
+    def _fsm_of(link: Link) -> Optional[LinkInitFSM]:
+        """The init FSM wired to ``link`` (via either attached chip)."""
+        for chip in getattr(link, "attached", {}).values():
+            for binding in getattr(chip, "ports", {}).values():
+                if binding.link is link:
+                    return binding.fsm
+        return None
+
+    # ------------------------------------------------------------------
+    def _fire(self, ev: FaultEvent) -> None:
+        fc = fault_counters(self.sim)
+        fc.faults_injected += 1
+        self.fired.append((self.sim.now, ev))
+        if ev.kind is FaultKind.LINK_FLAP:
+            self._fire_flap(ev)
+        elif ev.kind is FaultKind.LINK_KILL:
+            self.routes.route_around(self._link_of(ev))
+        elif ev.kind is FaultKind.BER_STORM:
+            self._fire_storm(ev)
+        elif ev.kind is FaultKind.CREDIT_STALL:
+            self._fire_stall(ev)
+        elif ev.kind is FaultKind.NODE_CRASH:
+            self.cluster.crash_node(self._rank_of(ev))
+        elif ev.kind is FaultKind.NODE_WARM_RESET:
+            self.sim.process(
+                self.cluster.rejoin_node(self._rank_of(ev)),
+                name=f"rejoin-rank{self._rank_of(ev)}",
+            )
+        else:  # pragma: no cover - enum is closed
+            raise FaultPlanError(f"unknown fault kind {ev.kind}")
+
+    def _fire_flap(self, ev: FaultEvent) -> None:
+        link = self._link_of(ev)
+        if link.dead:
+            return  # a prior LINK_KILL wins; flapping a corpse is a no-op
+        link.bring_down()
+        fsm = self._fsm_of(link)
+
+        def _revive() -> None:
+            if not link.dead and fsm is not None:
+                fsm.retrain("warm")
+
+        self.sim.schedule(max(ev.duration_ns, 1.0), _revive)
+
+    def _fire_storm(self, ev: FaultEvent) -> None:
+        link = self._link_of(ev)
+        old = link.ber
+        link.ber = ev.magnitude
+
+        def _calm() -> None:
+            link.ber = old
+
+        self.sim.schedule(max(ev.duration_ns, 1.0), _calm)
+
+    def _fire_stall(self, ev: FaultEvent) -> None:
+        """Drain every flow-control credit of the link (both directions,
+        all VCs); the receiver looks wedged until the credits return."""
+        link = self._link_of(ev)
+        stolen = []
+        for d in link._dirs.values():
+            for vc, pool in d.credits.items():
+                n = 0
+                while pool.try_take():
+                    n += 1
+                if n:
+                    stolen.append((pool, n))
+        if not stolen:
+            return
+
+        def _restore() -> None:
+            for pool, n in stolen:
+                pool.give(n)
+
+        self.sim.schedule(max(ev.duration_ns, 1.0), _restore)

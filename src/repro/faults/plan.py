@@ -1,0 +1,163 @@
+"""Fault plans: declarative, seedable schedules of injected failures.
+
+A :class:`FaultPlan` is pure data -- nothing here touches a simulator.
+Plans are either built explicitly (:meth:`FaultPlan.add`) or drawn from a
+seeded RNG (:meth:`FaultPlan.random`), and handed to
+:class:`~repro.faults.injector.FaultInjector` to be armed on a cluster's
+calendar.  Determinism contract: plan construction uses only the given
+seed (never wall-clock entropy), so the same seed + the same cluster
+yields the same injected sequence, event for event.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan", "FaultPlanError"]
+
+
+class FaultPlanError(ValueError):
+    """Ill-formed fault plan (negative time, bad duration...)."""
+
+
+class FaultKind(enum.Enum):
+    #: Link drops, then retrains (warm) after ``duration_ns``.
+    LINK_FLAP = "link-flap"
+    #: Link dies permanently: retrain refused, routing recomputed around it.
+    LINK_KILL = "link-kill"
+    #: Every HT link of the node drops at once; the node stops until a
+    #: NODE_WARM_RESET rejoins it.
+    NODE_CRASH = "node-crash"
+    #: Warm-reset rejoin of a (crashed) node through the firmware path.
+    NODE_WARM_RESET = "node-warm-reset"
+    #: All flow-control credits of a link vanish for ``duration_ns``
+    #: (receiver-side stall), then return.
+    CREDIT_STALL = "credit-stall"
+    #: Link BER jumps to ``magnitude`` for ``duration_ns`` (HT3 retry
+    #: storm; retry exhaustion may drop packets / trigger fail-down).
+    BER_STORM = "ber-storm"
+
+
+#: Kinds whose ``target`` indexes ``cluster.tcc_links``.
+LINK_KINDS = (FaultKind.LINK_FLAP, FaultKind.LINK_KILL,
+              FaultKind.CREDIT_STALL, FaultKind.BER_STORM)
+#: Kinds whose ``target`` is a rank.
+NODE_KINDS = (FaultKind.NODE_CRASH, FaultKind.NODE_WARM_RESET)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` indexes ``cluster.tcc_links`` for link kinds and the rank
+    table for node kinds (the injector wraps it modulo the population, so
+    randomly drawn plans fit any cluster).  ``duration_ns`` is the
+    transient's length for flap/stall/storm and the crash-to-rejoin gap
+    emitted by :meth:`FaultPlan.random`; ``magnitude`` is the storm BER.
+    """
+
+    #: Firing time in ns, relative to when the injector arms the plan
+    #: (i.e. typically "ns after boot finished").
+    at_ns: float
+    kind: FaultKind
+    target: int = 0
+    duration_ns: float = 0.0
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise FaultPlanError(f"fault time {self.at_ns} is negative")
+        if self.duration_ns < 0:
+            raise FaultPlanError(f"duration {self.duration_ns} is negative")
+        if not 0.0 <= self.magnitude < 1.0:
+            raise FaultPlanError(f"magnitude {self.magnitude} out of [0, 1)")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of faults (empty by default: inject nothing)."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    #: The seed the plan was drawn from (None for hand-built plans);
+    #: carried for reporting only.
+    seed: int = -1
+
+    def add(self, at_ns: float, kind: FaultKind, target: int = 0,
+            duration_ns: float = 0.0, magnitude: float = 0.0) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(at_ns, kind, target, duration_ns, magnitude)
+        )
+        return self
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in firing order (stable for equal timestamps)."""
+        return sorted(self.events, key=lambda e: e.at_ns)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> dict:
+        out: dict = {}
+        for e in self.events:
+            out[e.kind.value] = out.get(e.kind.value, 0) + 1
+        return out
+
+    @staticmethod
+    def random(
+        seed: int,
+        horizon_ns: float,
+        num_links: int = 1,
+        num_ranks: int = 2,
+        n_events: int = 4,
+        kinds: Sequence[FaultKind] = (FaultKind.LINK_FLAP,
+                                      FaultKind.CREDIT_STALL,
+                                      FaultKind.BER_STORM),
+        flap_ns: Tuple[float, float] = (2_000.0, 20_000.0),
+        stall_ns: Tuple[float, float] = (1_000.0, 10_000.0),
+        storm_ns: Tuple[float, float] = (5_000.0, 50_000.0),
+        crash_gap_ns: Tuple[float, float] = (20_000.0, 80_000.0),
+    ) -> "FaultPlan":
+        """Draw a deterministic plan from ``seed``.
+
+        Times land in the middle 5..60% of the horizon so recovery has
+        room to complete before the workload's own deadline.  A drawn
+        ``NODE_CRASH`` automatically emits the matching
+        ``NODE_WARM_RESET`` one ``crash_gap_ns`` later, so random plans
+        never strand a node.  The default kind set is the transient trio
+        (flap / stall / storm); destructive kinds (LINK_KILL,
+        NODE_CRASH) must be opted into because they require topology
+        redundancy or an explicit rejoin to stay recoverable.
+        """
+        if horizon_ns <= 0:
+            raise FaultPlanError("horizon must be positive")
+        if n_events < 0:
+            raise FaultPlanError("n_events must be non-negative")
+        if not kinds:
+            raise FaultPlanError("need at least one fault kind")
+        rng = random.Random(seed)
+        plan = FaultPlan(seed=seed)
+        for _ in range(n_events):
+            at = rng.uniform(0.05, 0.60) * horizon_ns
+            kind = rng.choice(list(kinds))
+            if kind in LINK_KINDS:
+                target = rng.randrange(max(num_links, 1))
+            else:
+                target = rng.randrange(max(num_ranks, 1))
+            if kind is FaultKind.LINK_FLAP:
+                plan.add(at, kind, target, duration_ns=rng.uniform(*flap_ns))
+            elif kind is FaultKind.CREDIT_STALL:
+                plan.add(at, kind, target, duration_ns=rng.uniform(*stall_ns))
+            elif kind is FaultKind.BER_STORM:
+                plan.add(at, kind, target,
+                         duration_ns=rng.uniform(*storm_ns),
+                         magnitude=10.0 ** rng.uniform(-4.0, -2.0))
+            elif kind is FaultKind.NODE_CRASH:
+                gap = rng.uniform(*crash_gap_ns)
+                plan.add(at, kind, target, duration_ns=gap)
+                plan.add(at + gap, FaultKind.NODE_WARM_RESET, target)
+            else:  # LINK_KILL / explicit NODE_WARM_RESET
+                plan.add(at, kind, target)
+        return plan

@@ -284,6 +284,40 @@ class TCClusterFirmware:
                         )
         self._mark("warm_reset")
 
+    # -- fault recovery (outside the staged cold-boot sequence) --------------
+    def warm_rejoin(self, chip_index: int):
+        """Bring a crashed chip's links back through the warm-reset path.
+
+        Used by :meth:`repro.cluster.system.TCCluster.rejoin_node`: the
+        chip's registers survived (warm reset preserves state), so we
+        re-apply each port's registered link persona and co-assert a
+        warm retrain -- the same handshake the synchronized reset rail
+        performed at boot, but scoped to one chip and *not* part of the
+        ``_STAGES`` sequence (no ``_enter``).  Permanently dead TCC
+        links are skipped; they stay routed-around.
+        """
+        chip = self.board.chips[chip_index]
+        events = []
+        for binding in chip.ports.values():
+            link = binding.link
+            if getattr(link, "dead", False):
+                continue
+            ctl = chip.link_control(binding.port)
+            freq = chip.link_freq(binding.port)
+            fsm = binding.fsm
+            fsm.set_force_noncoherent(binding.side, ctl.force_noncoherent)
+            if freq.width_bits:
+                fsm.program_rate(binding.side, freq.width_bits,
+                                 freq.gbit_per_lane)
+            # retrain() co-asserts both sides (short-circuited reset
+            # lines), so the remote peer needs no firmware action.
+            ev = fsm.retrain("warm")
+            ev.add_callback(chip._make_status_updater(binding))
+            events.append(ev)
+        if events:
+            yield AllOf(self.sim, events)
+        yield from self.ctx.step(4)
+
     def northbridge_init(self):
         """Program DRAM/MMIO base-limit pairs per the address plan."""
         self._enter("northbridge_init")

@@ -24,10 +24,12 @@ flow-control credit to the transmitter.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Deque, Dict, Optional, Tuple
 
-from ..sim import CreditPool, Event, Resource, Simulator, Store, Tracer, NULL_TRACER
+from ..obs.metrics import fault_counters
+from ..sim import CreditPool, Event, Gate, Resource, Simulator, Store, Tracer, NULL_TRACER
 from ..util.calibration import TimingModel, DEFAULT_TIMING
 from .packet import Packet, VirtualChannel
 
@@ -74,6 +76,10 @@ class LinkStats:
     #: Multi-packet serialization windows taken by the burst fast path
     #: (wall-clock instrumentation; no timing meaning).
     bursts: int = 0
+    #: Packets handed back to the transmit queue because the link went
+    #: down before/while they were serializing (link-level NAK; they are
+    #: retransmitted after retrain, never lost).
+    naks: int = 0
 
     def utilization(self, elapsed_ns: float) -> float:
         return self.busy_ns / elapsed_ns if elapsed_ns > 0 else 0.0
@@ -89,6 +95,7 @@ class LinkStats:
             "busy_ns": self.busy_ns,
             "credit_stall_ns": self.credit_stall_ns,
             "bursts": self.bursts,
+            "naks": self.naks,
             "utilization": self.utilization(elapsed_ns),
         }
 
@@ -131,6 +138,14 @@ class _Direction:
         #: Active aggregate-fidelity packet train owning this direction
         #: (repro.opteron.train); foreign sends demote it first.
         self._train = None
+        #: Burst-window deliveries pushed into the calendar but not yet
+        #: past their serialization end: (cancel_seq, ser_end, pkt, vc).
+        #: Pruned lazily; consulted by bring_down() to NAK packets that
+        #: were still inside the serializer when the link died.
+        self._burst_fly: Deque[Tuple[int, float, Packet, VirtualChannel]] = deque()
+        #: Retry-exhaustion drops since the last successful transmit
+        #: (drives the optional fail-down to a narrower width).
+        self._consecutive_drops = 0
         for vc in VirtualChannel:
             sim.process(self._pump(vc), name=f"{link.name}.{tx_side}.pump.{vc.name}")
 
@@ -174,12 +189,20 @@ class _Direction:
                 stats.credit_stall_ns += sim.now - wait_start
             if not phy.try_acquire():
                 yield phy.acquire()
+            if link.state != LinkState.ACTIVE:
+                # The link died while this packet waited for a credit or
+                # the serializer: NAK it back to the head of the TX queue
+                # (HT retains unacknowledged packets in the retry buffer),
+                # release everything, and park until retrain completes.
+                phy.release()
+                credits.give()
+                txq.unget(pkt)
+                stats.naks += 1
+                fault_counters(sim).link_naks += 1
+                yield link.up_gate.wait()
+                continue
             dropped = False
             try:
-                if link.state != LinkState.ACTIVE:
-                    raise LinkDownError(
-                        f"link {link.name} went {link.state} while transmitting"
-                    )
                 if txq._items and self._can_burst(vc):
                     yield from self._transmit_burst(pkt, vc)
                     continue  # phy released inside; stats/delivery done
@@ -212,12 +235,28 @@ class _Direction:
                     stats.busy_ns += ser
             finally:
                 phy.release()
+            if link.state != LinkState.ACTIVE:
+                # Cut mid-serialization (or mid retry storm): the receiver
+                # never saw a complete packet, so NAK and retransmit after
+                # retrain rather than losing or half-delivering it.
+                credits.give()
+                txq.unget(pkt)
+                stats.naks += 1
+                fault_counters(sim).link_naks += 1
+                yield link.up_gate.wait()
+                continue
             if dropped:
                 stats.drops += 1
                 credits.give()
                 link.tracer.emit(sim.now, link.name, "drop",
                                  (self.tx_side, vc.name, pkt.addr))
+                self._consecutive_drops += 1
+                th = link.fail_down_threshold
+                if th is not None and self._consecutive_drops >= th:
+                    self._consecutive_drops = 0
+                    link._fail_down()
                 continue
+            self._consecutive_drops = 0
             stats.packets += 1
             stats.payload_bytes += len(pkt.data)
             stats.wire_bytes += pkt.wire_bytes(link._crc_bytes)
@@ -262,15 +301,63 @@ class _Direction:
         prop = link.propagation_ns
         stats = self.stats
         deliver = self._deliver
+        fly = self._burst_fly
+        # Prune windows that fully serialized (cheap: ser_end values are
+        # appended in ascending time order, the phy serializes windows
+        # back to back).
+        while fly and fly[0][1] <= t0:
+            fly.popleft()
         for p in burst:
             cum += p.wire_bytes(crc) / rate
             stats.packets += 1
             stats.payload_bytes += len(p.data)
             stats.wire_bytes += p.wire_bytes(crc)
-            sim._push(t0 + cum + prop, deliver, (p, vc))
+            seq = sim._push_cancellable(t0 + cum + prop, deliver, (p, vc))
+            fly.append((seq, t0 + cum, p, vc))
         stats.bursts += 1
         yield cum
         stats.busy_ns += cum
+
+    def _unwind_bursts(self) -> None:
+        """NAK every burst-window packet still inside the serializer.
+
+        Called by :meth:`Link.bring_down`.  A delivery whose serialization
+        window already closed stands -- the packet is on the cable and
+        will arrive after the propagation delay.  Deliveries still being
+        serialized are cancelled (the entry leaves the calendar without
+        advancing the clock), their transmit stats reversed, their
+        credits returned, and the packets put back at the head of their
+        TX queue in original order for retransmission after retrain.
+        Because a cancelled delivery can never have fired, the packet
+        cannot have reached its destination commit point -- so a pooled
+        packet can never be recycled while a NAK still references it.
+        """
+        fly = self._burst_fly
+        if not fly:
+            return
+        link = self.link
+        sim = link.sim
+        now = sim._now
+        requeue = []
+        while fly:
+            seq, ser_end, pkt, vc = fly.popleft()
+            if ser_end <= now:
+                continue
+            sim._cancel(seq)
+            requeue.append((pkt, vc))
+        if not requeue:
+            return
+        stats = self.stats
+        crc = link._crc_bytes
+        fc = fault_counters(sim)
+        for pkt, vc in reversed(requeue):
+            stats.packets -= 1
+            stats.payload_bytes -= len(pkt.data)
+            stats.wire_bytes -= pkt.wire_bytes(crc)
+            stats.naks += 1
+            fc.link_naks += 1
+            self.credits[vc].give()
+            self.txq[vc].unget(pkt)
 
     def _deliver(self, pkt: Packet, vc: VirtualChannel) -> None:
         link = self.link
@@ -328,6 +415,20 @@ class Link:
         self.state = LinkState.DOWN
         #: None until trained; then "coherent" or "noncoherent".
         self.link_type: Optional[str] = None
+        #: Level-triggered "link is ACTIVE" condition.  Pumps that hit a
+        #: down link NAK their packet and park here; the northbridge
+        #: fault path waits on it (bounded) before rerouting.
+        self.up_gate = Gate(sim, open_=False, name=f"{name}.up")
+        #: Permanently failed (fault injection LINK_KILL): retrain
+        #: attempts are refused until cleared.
+        self.dead = False
+        #: After this many *consecutive* retry-exhaustion drops, fail
+        #: down to a narrower width / lower lane rate instead of keeping
+        #: a hopeless link at full speed.  None (default) disables the
+        #: behaviour entirely -- the fault-free data path is unchanged.
+        self.fail_down_threshold: Optional[int] = None
+        #: Fail-downs performed (narrowings/slowdowns since training).
+        self.fail_downs = 0
         self._dirs: Dict[str, _Direction] = {
             side: _Direction(self, side) for side in (LinkSide.A, LinkSide.B)
         }
@@ -411,13 +512,41 @@ class Link:
         """Bring the link up (called by the init FSM after training)."""
         if link_type not in ("coherent", "noncoherent"):
             raise ValueError(f"bad link type {link_type!r}")
+        if self.dead:
+            raise LinkDownError(f"link {self.name} is permanently dead")
         self.state = LinkState.ACTIVE
         self.link_type = link_type
+        self.up_gate.open()
 
     def bring_down(self) -> None:
+        """Take the link down (fault injection or the start of retrain).
+
+        Ordering matters: aggregate trains are demoted first (their
+        speculative future is revoked against pre-fault state), then any
+        burst-serialization window in flight is unwound -- packets whose
+        wire time had not completed are NAK'd back to their TX queues --
+        and only then does the state flip and the up-gate close, parking
+        the pumps until :meth:`activate`.
+        """
         self._abort_trains()
+        for d in self._dirs.values():
+            d._unwind_bursts()
         self.state = LinkState.DOWN
         self.link_type = None
+        self.up_gate.close()
+
+    def _fail_down(self) -> None:
+        """Degrade to the next narrower width (or half the lane rate at
+        the minimum 2-bit width) after repeated retry exhaustion -- the
+        HT-style response to a persistently bad cable.  The programmed
+        (pending) rate in the init FSM personas is untouched, so a later
+        full retrain restores full speed."""
+        if self.width_bits > 2:
+            self.set_rate(self.width_bits // 2, self.gbit_per_lane)
+        else:
+            self.set_rate(self.width_bits, max(self.gbit_per_lane / 2.0, 0.1))
+        self.fail_downs += 1
+        fault_counters(self.sim).link_fail_downs += 1
 
     def set_rate(self, width_bits: int, gbit_per_lane: float) -> None:
         """Apply trained width/frequency (takes effect immediately)."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs.metrics import fault_counters
 from ..sim import Event, Simulator
 from .link import Link, LinkSide
 
@@ -153,6 +154,26 @@ class LinkInitFSM:
             self.sim.process(self._train(kind), name=f"{self.link.name}.train")
         else:
             self._pending_asserts[side] = self.sim.now
+        return ev
+
+    def retrain(self, kind: str = "warm") -> Event:
+        """Recovery retrain: co-assert reset on *both* sides at this
+        instant -- the prototype short-circuits the reset lines, so a
+        flap recovery brings both endpoints into training together
+        (skew 0).  A ``"warm"`` retrain re-applies the personas' pending
+        width/frequency programming, so a link that failed down to a
+        narrower width recovers its full programmed rate.  Refused for
+        permanently dead links (fault-injection LINK_KILL).
+
+        Returns the event that fires with the trained link type.
+        """
+        if getattr(self.link, "dead", False):
+            raise LinkTrainingError(
+                f"{self.link.name}: cannot retrain a permanently dead link"
+            )
+        fault_counters(self.sim).retrains += 1
+        ev = self.assert_reset(LinkSide.A, kind)
+        self.assert_reset(LinkSide.B, kind)
         return ev
 
     def _train(self, kind: str):

@@ -8,7 +8,7 @@ from .config import (
     SLOT_HEADER,
     SLOT_PAYLOAD,
 )
-from .endpoint import Endpoint, EndpointStats, MessageError
+from .endpoint import Endpoint, EndpointStats, MessageError, TransportError
 from .library import MessageLibrary
 from .onesided import OneSidedRegion
 from .slots import (
@@ -31,6 +31,7 @@ __all__ = [
     "Endpoint",
     "EndpointStats",
     "MessageError",
+    "TransportError",
     "ClusterBarrier",
     "SLOT_BYTES",
     "SLOT_HEADER",

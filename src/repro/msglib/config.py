@@ -25,7 +25,7 @@ offsets identical across the cluster (all ranks compute the same layout):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..util.units import CACHELINE, KiB, MiB
 
@@ -62,6 +62,19 @@ class MsgConfig:
     #: Offset of the message regions inside each node's local DRAM (leaves
     #: low memory to the OS).
     region_offset: int = 1 * MiB
+    # -- reliability (all default-off: the fault-free protocol, its
+    # timing and its calendar footprint are unchanged) -------------------
+    #: End-to-end delivery guard: when set, ``send()`` only completes
+    #: once the peer has acknowledged the message's ring slots, and
+    #: raises :class:`~repro.msglib.endpoint.TransportError` (declaring
+    #: the peer dead) if that takes longer than this many ns.
+    send_deadline_ns: Optional[float] = None
+    #: ``recv()`` deadline: raise ``TransportError`` when no message
+    #: completes within this many ns (per-call override available).
+    recv_deadline_ns: Optional[float] = None
+    #: First retransmit backoff while waiting for acknowledgements;
+    #: doubles after every retransmission round (exponential backoff).
+    retransmit_base_ns: float = 50_000.0
 
     def __post_init__(self) -> None:
         if self.ring_bytes % SLOT_BYTES or self.ring_bytes < 4 * SLOT_BYTES:
@@ -76,6 +89,12 @@ class MsgConfig:
             raise ValueError("fb_interval_slots must be below the slot count")
         if self.read_chunk % SLOT_BYTES:
             raise ValueError("read_chunk must be line aligned")
+        if self.send_deadline_ns is not None and self.send_deadline_ns <= 0:
+            raise ValueError("send_deadline_ns must be positive (or None)")
+        if self.recv_deadline_ns is not None and self.recv_deadline_ns <= 0:
+            raise ValueError("recv_deadline_ns must be positive (or None)")
+        if self.retransmit_base_ns <= 0:
+            raise ValueError("retransmit_base_ns must be positive")
 
     @property
     def nslots(self) -> int:

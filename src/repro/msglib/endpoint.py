@@ -26,9 +26,11 @@ All public methods are generators driven inside a simulation process.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
-from ..obs.metrics import metrics_for
+from ..ht.link import LinkDownError
+from ..obs.metrics import fault_counters, metrics_for
 from ..util.units import CACHELINE
 from .config import RENDEZVOUS_MARKER, SLOT_BYTES, SLOT_PAYLOAD
 from .slots import (
@@ -45,11 +47,18 @@ from .slots import (
 if TYPE_CHECKING:  # pragma: no cover
     from .library import MessageLibrary
 
-__all__ = ["Endpoint", "EndpointStats", "MessageError"]
+__all__ = ["Endpoint", "EndpointStats", "MessageError", "TransportError"]
 
 
 class MessageError(RuntimeError):
     """Protocol violation (oversized message, corrupt slot...)."""
+
+
+class TransportError(MessageError):
+    """The transport gave up: a send/recv deadline expired or the path to
+    the peer died (link down with no reroute).  The peer is declared dead
+    on send-side failures; :meth:`Endpoint.revive` clears the verdict
+    after the peer rejoins."""
 
 
 class EndpointStats:
@@ -67,6 +76,10 @@ class EndpointStats:
         self.feedback_writes = 0
         #: Doorbell wakeups while parked (poll-parking fast path).
         self.park_wakes = 0
+        #: Reliable-send retransmission rounds (slot images rewritten).
+        self.retransmits = 0
+        #: Sends/recvs that raised :class:`TransportError` on a deadline.
+        self.msgs_expired = 0
 
     def as_dict(self) -> dict:
         return dict(vars(self))
@@ -107,6 +120,25 @@ class Endpoint:
         self.fb_sent_slots = 0
         self.fb_sent_heap = 0
         self.stats = EndpointStats()
+        # Reliability state (inert unless a send/recv deadline is set).
+        #: Peer declared dead by a failed reliable send (or a link-down
+        #: error with no reroute); cleared by :meth:`revive`.
+        self.peer_dead = False
+        #: Slot images not yet acknowledged by the peer, oldest first:
+        #: ``(seq, slot_addr, slot_image, heap_addr, heap_image)`` --
+        #: the heap fields are None for eager slots.  Only populated
+        #: while a deadline-guarded send is in flight.
+        self._unacked: Deque[Tuple[int, int, bytes, Optional[int], Optional[bytes]]] = deque()
+        self._send_deadline: Optional[float] = None
+        self._rtx_next = 0.0
+        self._rtx_backoff = 0.0
+        #: Reliability configured (either deadline set): the receive path
+        #: acks every message eagerly so a deadline-guarded sender's
+        #: `_await_acked` converges even when the receiver then goes
+        #: quiet.  False keeps the batched-feedback fault-free behavior
+        #: bit-identical.  Both peers must share the reliable config.
+        self._reliable = (self.cfg.send_deadline_ns is not None
+                          or self.cfg.recv_deadline_ns is not None)
         self._m = metrics_for(self.sim)
         # Metric-name strings are built once: the f-strings showed up in
         # data-plane profiles when metrics are enabled (every occupancy
@@ -138,23 +170,55 @@ class Endpoint:
     # ------------------------------------------------------------------
     # Send
     # ------------------------------------------------------------------
-    def send(self, data: bytes, mode: str = "weak"):
+    def send(self, data: bytes, mode: str = "weak",
+             deadline_ns: Optional[float] = None):
         """Transmit ``data``; completes when every store has left the core
-        (posted semantics -- delivery is guaranteed by HT, not signalled)."""
+        (posted semantics -- delivery is guaranteed by HT, not signalled).
+
+        With a deadline (per-call ``deadline_ns`` or the config's
+        ``send_deadline_ns``) the call instead completes only once the
+        peer acknowledged every ring slot of the message, retransmitting
+        unacknowledged slot images on an exponential backoff, and raises
+        :class:`TransportError` -- declaring the peer dead -- when the
+        deadline expires.  An expired send is never counted in
+        ``msgs_sent``/``bytes_sent``.
+        """
         if not data:
             raise MessageError("empty message")
         if mode not in ("weak", "strict"):
             raise MessageError(f"unknown ordering mode {mode!r}")
+        if self.peer_dead:
+            raise TransportError(
+                f"rank {self.me}: peer rank {self.peer} is declared dead "
+                "(revive() after it rejoins)"
+            )
         if self._m.enabled:
             # End-to-end latency clock starts before the library overhead,
             # matching what an application-level timer would see.
             self._m.note_send(self.me, self.peer, self.sim.now)
-        yield self.proc.core.chip.timing.send_overhead_ns
-        if len(data) <= self.cfg.eager_max:
-            yield from self._send_eager(data, mode)
+        limit = deadline_ns if deadline_ns is not None else self.cfg.send_deadline_ns
+        if limit is not None:
+            self._send_deadline = self.sim.now + limit
+            self._rtx_backoff = self.cfg.retransmit_base_ns
+            self._rtx_next = self.sim.now + self._rtx_backoff
+        try:
+            yield self.proc.core.chip.timing.send_overhead_ns
+            if len(data) <= self.cfg.eager_max:
+                yield from self._send_eager(data, mode)
+                eager = True
+            else:
+                yield from self._send_rendezvous(data, mode)
+                eager = False
+            if self._send_deadline is not None:
+                yield from self._await_acked(self.send_seq)
+        except LinkDownError as exc:
+            raise self._transport_fail(f"link down while sending ({exc})") from exc
+        finally:
+            self._send_deadline = None
+            self._unacked.clear()
+        if eager:
             self.stats.eager_sent += 1
         else:
-            yield from self._send_rendezvous(data, mode)
             self.stats.rendezvous_sent += 1
         self.stats.msgs_sent += 1
         self.stats.bytes_sent += len(data)
@@ -171,6 +235,9 @@ class Endpoint:
             chunk = data[pos : pos + SLOT_PAYLOAD]
             slot = pack_slot(seq, remaining, chunk)
             yield from self.proc.store(self._slot_tx_addr(seq), slot)
+            if self._send_deadline is not None:
+                self._unacked.append((seq, self._slot_tx_addr(seq), slot,
+                                      None, None))
             if mode == "strict":
                 yield from self.proc.sfence()
             self.send_seq = seq
@@ -211,6 +278,9 @@ class Endpoint:
         seq = self.send_seq + 1
         ctrl = pack_rendezvous_control(seq, offset, len(data), self.heap_sent)
         yield from self.proc.store(self._slot_tx_addr(seq), ctrl)
+        if self._send_deadline is not None:
+            self._unacked.append((seq, self._slot_tx_addr(seq), ctrl,
+                                  addr, padded))
         if mode == "strict":
             yield from self.proc.sfence()
         self.send_seq = seq
@@ -218,7 +288,10 @@ class Endpoint:
 
     def flush(self):
         """Drain write-combining buffers (finalize weakly-ordered sends)."""
-        yield from self.proc.sfence()
+        try:
+            yield from self.proc.sfence()
+        except LinkDownError as exc:
+            raise self._transport_fail(f"link down while flushing ({exc})") from exc
 
     # -- transmit-side flow control --------------------------------------
     def _free_tx_slots(self) -> int:
@@ -233,6 +306,7 @@ class Endpoint:
             yield from self._refresh_ack()
             if self._free_tx_slots() >= n:
                 break
+            yield from self._reliability_tick()
             yield self.proc.core.chip.timing.poll_iteration_ns
         self.stats.tx_stall_ns += self.sim.now - stall_start
         if self._m.enabled:
@@ -247,6 +321,7 @@ class Endpoint:
             yield from self._refresh_ack()
             if self.heap_sent - self.heap_acked + need <= self.cfg.heap_bytes:
                 break
+            yield from self._reliability_tick()
             yield self.proc.core.chip.timing.poll_iteration_ns
         self.stats.tx_stall_ns += self.sim.now - stall_start
         if self._m.enabled:
@@ -260,11 +335,82 @@ class Endpoint:
             if slots > self.send_seq:
                 raise MessageError("peer acknowledged slots never sent")
             self.acked_slots = slots
+            una = self._unacked
+            while una and una[0][0] <= slots:
+                una.popleft()
             self._note_occupancy()
         if heap > self.heap_acked:
             if heap > self.heap_sent:
                 raise MessageError("peer acknowledged heap bytes never sent")
             self.heap_acked = heap
+
+    # -- reliability (deadline-guarded sends/recvs) -----------------------
+    def _transport_fail(self, why: str) -> TransportError:
+        """Declare the peer dead and build the typed error (raised by the
+        caller); :meth:`revive` clears the verdict after a rejoin."""
+        self.peer_dead = True
+        self.stats.msgs_expired += 1
+        fault_counters(self.sim).messages_expired += 1
+        return TransportError(f"rank {self.me} -> rank {self.peer}: {why}")
+
+    def revive(self) -> None:
+        """Clear a peer-dead verdict after the peer rejoined (node warm
+        reset).  Sequence/ack state is kept: DRAM survives a warm reset,
+        so both sides resume the ring exactly where they left off."""
+        self.peer_dead = False
+        self._unacked.clear()
+
+    def _reliability_tick(self):
+        """One watchdog step of a deadline-guarded send, shared by every
+        transmit-side wait loop: retransmit unacknowledged slot images on
+        the exponential-backoff grid, declare the peer dead once the
+        deadline passes.  A no-op when no deadline is armed."""
+        dl = self._send_deadline
+        if dl is None:
+            return
+        now = self.sim.now
+        if now >= dl:
+            raise self._transport_fail(
+                f"no acknowledgement from rank {self.peer} within the "
+                f"send deadline ({self.acked_slots}/{self.send_seq} slots acked)"
+            )
+        if self._unacked and now >= self._rtx_next:
+            self._rtx_backoff *= 2.0
+            self._rtx_next = now + self._rtx_backoff
+            yield from self._retransmit_unacked()
+
+    def _retransmit_unacked(self):
+        """Rewrite every still-unacknowledged slot image (rendezvous
+        payload first, then its control slot) into the peer's memory.
+
+        Posted writes on one VC stay FIFO, so a retransmit can never
+        overtake the original store or a newer slot, and the receiver's
+        monotonic sequence check makes duplicates invisible -- at worst
+        the rewrite is redundant wire traffic.
+        """
+        fc = fault_counters(self.sim)
+        for seq, slot_addr, slot_img, heap_addr, heap_img in list(self._unacked):
+            if seq <= self.acked_slots:
+                continue
+            if heap_img is not None:
+                yield from self.proc.store(heap_addr, heap_img)
+                # Payload globally ordered before its control slot.
+                yield from self.proc.sfence()
+            yield from self.proc.store(slot_addr, slot_img)
+            self.stats.retransmits += 1
+            fc.retransmits += 1
+        yield from self.proc.sfence()
+
+    def _await_acked(self, target_seq: int):
+        """Reliable-send completion: poll the feedback line until the
+        peer acknowledged every ring slot up to ``target_seq``."""
+        t = self.proc.core.chip.timing
+        while self.acked_slots < target_seq:
+            yield from self._refresh_ack()
+            if self.acked_slots >= target_seq:
+                break
+            yield from self._reliability_tick()
+            yield t.poll_iteration_ns
 
     # ------------------------------------------------------------------
     # Receive
@@ -272,24 +418,34 @@ class Endpoint:
     def _slot_rx_addr(self, seq: int) -> int:
         return self.rx_ring_addr + ((seq - 1) % self.cfg.nslots) * SLOT_BYTES
 
-    def recv(self):
-        """Block (poll) until the next message is complete; returns bytes."""
+    def recv(self, deadline_ns: Optional[float] = None):
+        """Block (poll) until the next message is complete; returns bytes.
+
+        ``deadline_ns`` (or the config's ``recv_deadline_ns``) bounds the
+        wait: :class:`TransportError` is raised when no message completes
+        in time.  Deadline polling stays on the deterministic busy-poll
+        grid (doorbell parking is bypassed)."""
         t = self.proc.core.chip.timing
-        raw = yield from self._poll_slot(self.recv_seq + 1)
-        seq, length = unpack_header(raw)
-        if length == RENDEZVOUS_MARKER:
-            offset, plen, heap_end = unpack_rendezvous_control(raw)
-            data = yield from self._bulk_read(self.rx_heap_addr + offset, plen)
-            self.recv_seq += 1
-            self.heap_recvd = heap_end
-            yield from self._maybe_feedback(force=True)
-        elif slots_needed(length) == 1:
-            data = unpack_payload(raw, length)
-            self.recv_seq += 1
-            yield from self._maybe_feedback()
-        else:
-            data = yield from self._recv_multislot(raw, length)
-            yield from self._maybe_feedback()
+        limit = deadline_ns if deadline_ns is not None else self.cfg.recv_deadline_ns
+        deadline = self.sim.now + limit if limit is not None else None
+        try:
+            raw = yield from self._poll_slot(self.recv_seq + 1, deadline)
+            seq, length = unpack_header(raw)
+            if length == RENDEZVOUS_MARKER:
+                offset, plen, heap_end = unpack_rendezvous_control(raw)
+                data = yield from self._bulk_read(self.rx_heap_addr + offset, plen)
+                self.recv_seq += 1
+                self.heap_recvd = heap_end
+                yield from self._maybe_feedback(force=True)
+            elif slots_needed(length) == 1:
+                data = unpack_payload(raw, length)
+                self.recv_seq += 1
+                yield from self._maybe_feedback(force=self._reliable)
+            else:
+                data = yield from self._recv_multislot(raw, length, deadline)
+                yield from self._maybe_feedback(force=self._reliable)
+        except LinkDownError as exc:
+            raise self._transport_fail(f"link down while receiving ({exc})") from exc
         yield t.recv_overhead_ns
         self.stats.msgs_received += 1
         self.stats.bytes_received += len(data)
@@ -310,8 +466,13 @@ class Endpoint:
         data = yield from self.recv()
         return data
 
-    def _poll_slot(self, want_seq: int):
+    def _poll_slot(self, want_seq: int, deadline: Optional[float] = None):
         """Spin on a slot until its sequence number appears.
+
+        ``deadline`` (absolute sim time) bounds the spin with a
+        :class:`TransportError`; a deadline-guarded poll never parks, so
+        its timing stays on the plain poll grid regardless of
+        ``SimFeatures.poll_parking``.
 
         With ``SimFeatures.poll_parking`` the *idle* part of the spin is
         event-driven: instead of burning one calendar entry per
@@ -325,7 +486,14 @@ class Endpoint:
         t = self.proc.core.chip.timing
         flushed_idle_fb = False
         while True:
-            db = self._parking_doorbell()
+            if deadline is not None and self.sim.now >= deadline:
+                self.stats.msgs_expired += 1
+                fault_counters(self.sim).messages_expired += 1
+                raise TransportError(
+                    f"rank {self.me}: no message from rank {self.peer} "
+                    "within the recv deadline"
+                )
+            db = self._parking_doorbell() if deadline is None else None
             seen = db.count if db is not None else 0
             self.stats.polls += 1
             raw = yield from self.proc.load(addr, SLOT_BYTES)
@@ -434,12 +602,13 @@ class Endpoint:
         chip = self.proc.core.chip
         return chip.memory.read(chip.nb._local_offset(addr), SLOT_BYTES)
 
-    def _recv_multislot(self, first_raw: bytes, length: int):
+    def _recv_multislot(self, first_raw: bytes, length: int,
+                        deadline: Optional[float] = None):
         k = slots_needed(length)
         last_seq = self.recv_seq + k
         # In-order posted delivery: once the last slot shows up, the whole
         # span is in memory; sync on it, then bulk-read the middle.
-        yield from self._poll_slot(last_seq)
+        yield from self._poll_slot(last_seq, deadline)
         spans = self._ring_spans(self.recv_seq + 2, last_seq - 1)
         middle_raw = b""
         for (addr, nbytes) in spans:

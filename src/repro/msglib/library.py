@@ -14,9 +14,9 @@ from ..kernel.linux import UserProcess
 from ..kernel.pagetable import PAGE_SIZE
 from ..obs.metrics import metrics_for
 from .config import MsgConfig, RegionLayout
-from .endpoint import Endpoint, MessageError
+from .endpoint import Endpoint, MessageError, TransportError
 
-__all__ = ["MessageLibrary"]
+__all__ = ["MessageLibrary", "TransportError"]
 
 
 class MessageLibrary:

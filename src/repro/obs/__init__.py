@@ -24,8 +24,9 @@ from .golden import (
     load_golden,
     save_golden,
 )
-from .metrics import (LogHistogram, MetricsRegistry, datapath_counters,
-                      enable_metrics, metrics_for)
+from .metrics import (FaultCounters, LogHistogram, MetricsRegistry,
+                      datapath_counters, enable_metrics, fault_counters,
+                      metrics_for)
 from .report import format_report
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "metrics_for",
     "enable_metrics",
     "datapath_counters",
+    "FaultCounters",
+    "fault_counters",
     "JsonlExporter",
     "trace_records_to_jsonl",
     "read_jsonl",

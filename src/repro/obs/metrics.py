@@ -42,6 +42,8 @@ __all__ = [
     "metrics_for",
     "enable_metrics",
     "datapath_counters",
+    "FaultCounters",
+    "fault_counters",
 ]
 
 
@@ -247,6 +249,52 @@ def enable_metrics(sim) -> MetricsRegistry:
     reg = metrics_for(sim)
     reg.enabled = True
     return reg
+
+
+class FaultCounters:
+    """Always-on fault/recovery counter family of one simulator.
+
+    Mirrors the :func:`datapath_counters` contract: plain integer
+    attributes bumped directly by the recovery machinery (link pumps,
+    init FSM retrains, endpoints, route manager, injector), so the cost
+    is one attribute increment per *recovery* action and exactly zero
+    when no faults occur.  Not part of the golden distilled metrics.
+    """
+
+    __slots__ = (
+        "faults_injected",
+        "retrains",
+        "retransmits",
+        "reroutes",
+        "messages_expired",
+        "link_naks",
+        "link_fail_downs",
+        "packets_dropped",
+        "packets_salvaged",
+        "fatal_broadcasts",
+        "node_crashes",
+        "node_rejoins",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        hot = {k: v for k, v in self.as_dict().items() if v}
+        return f"<FaultCounters {hot or 'clean'}>"
+
+
+def fault_counters(sim) -> "FaultCounters":
+    """The (lazily created) fault-recovery counters of one simulator."""
+    fc = getattr(sim, "_fault_counters", None)
+    if fc is None:
+        fc = FaultCounters()
+        sim._fault_counters = fc
+    return fc
 
 
 def datapath_counters(sim, memories=()) -> Dict[str, int]:

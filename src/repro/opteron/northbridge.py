@@ -32,11 +32,11 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from ..ht.link import Link, LinkSide
+from ..ht.link import Link, LinkDownError, LinkSide, LinkState
 from ..ht.packet import Command, Packet, make_read, make_read_response, make_target_done, pool_for
 from ..ht.tags import ResponseMatchingTable, UnroutableResponseError
-from ..obs.metrics import metrics_for
-from ..sim import Counter, Event, Simulator, Store
+from ..obs.metrics import fault_counters, metrics_for
+from ..sim import AnyOf, Counter, Event, Simulator, Store
 from ..util.calibration import TimingModel
 from . import registers as regs_mod
 from .registers import (
@@ -125,6 +125,11 @@ class Northbridge:
         #: Enforce the writes-only rule at request issue (the driver-level
         #: behaviour); disable to observe the emergent misrouting.
         self.strict_reads = True
+        #: Patience window of the link-down recovery path: how long a
+        #: packet whose egress link died waits for a retrain or a routing
+        #: update before it is dropped (posted semantics permit the loss;
+        #: the message layer's retransmit machinery restores delivery).
+        self.link_down_wait_ns = 100_000.0
         self._dram_entries: List[_DramEntry] = []
         self._mmio_entries: List[_MmioEntry] = []
         self._pending_reads: Dict[int, Event] = {}
@@ -408,8 +413,15 @@ class Northbridge:
             done.succeed(data)
             return
         if r.kind is RouteKind.DRAM_REMOTE:
-            # Coherent fabric read: tag + request + response.
-            data = yield from self._remote_read(addr, length, r.dst_node)
+            # Coherent fabric read: tag + request + response.  A dead
+            # egress link fails the load (the caller sees LinkDownError
+            # and the message layer converts it to a TransportError);
+            # waiting here would leave the read's tag allocated forever.
+            try:
+                data = yield from self._remote_read(addr, length, r.dst_node)
+            except LinkDownError as exc:
+                done.fail(exc)
+                return
             done.succeed(data)
             return
         # MMIO read: the writes-only rule.
@@ -427,7 +439,13 @@ class Northbridge:
         tag = self.tags.allocate(self.nodeid, context=done)
         self._pending_reads[tag] = done
         pkt = make_read(addr, length // 4, srctag=tag, unitid=self.nodeid)
-        yield from self._emit_mmio(pkt, r)
+        try:
+            yield from self._emit_mmio(pkt, r)
+        except LinkDownError as exc:
+            self._pending_reads.pop(tag, None)
+            self.tags.match(tag)
+            done.fail(exc)
+            return
         self.counters.inc("unroutable_mmio_reads_issued")
         # `done` now waits for a response that will never arrive.
 
@@ -466,6 +484,61 @@ class Northbridge:
         if binding.link.try_send(binding.side, pkt):
             return None
         return binding.link.send(binding.side, pkt)
+
+    def _forward_fault(self, pkt: Packet, response: bool = False):
+        """Recover a packet whose egress link was down at send time.
+
+        The loop re-resolves the route each round -- an interval-routing
+        update (:class:`repro.faults.routes.RouteManager`) may already
+        steer the address (or, for ``response`` packets, the requester
+        NodeID) around the dead link -- then retries the send.  When no
+        active egress exists it waits, bounded by ``link_down_wait_ns``,
+        for the chosen link to retrain; past the window the packet is
+        dropped with accounting.  Posted HT semantics permit the drop,
+        and the message layer's deadline/retransmit machinery restores
+        exactly-once-or-failed delivery end to end.
+        """
+        sim = self.sim
+        fc = fault_counters(sim)
+        deadline = sim.now + self.link_down_wait_ns
+        while True:
+            try:
+                if response:
+                    port = self._fabric_port_for(pkt.unitid, route="response")
+                else:
+                    r = self.route(pkt.addr)
+                    if r.kind is RouteKind.MMIO_LOCAL_LINK:
+                        port = r.dst_link
+                    elif r.kind in (RouteKind.DRAM_REMOTE, RouteKind.MMIO_REMOTE):
+                        port = self._fabric_port_for(r.dst_node)
+                    else:
+                        port = None
+            except MasterAbort:
+                port = None
+            binding = self.chip.ports.get(port) if port is not None else None
+            if binding is not None and binding.link.state == LinkState.ACTIVE:
+                try:
+                    ev = self._send_on_port_fast(port, pkt)
+                except LinkDownError:
+                    pass  # lost the race with another bring_down; re-wait
+                else:
+                    if ev is not None:
+                        yield ev
+                    self.counters.inc("fault_forwards")
+                    return
+            remaining = deadline - sim.now
+            if remaining <= 0:
+                self.counters.inc("fault_drops")
+                fc.packets_dropped += 1
+                self._pool.recycle(pkt)
+                return
+            if binding is not None:
+                # Wake on retrain or when patience runs out.
+                yield AnyOf(sim, [binding.link.up_gate.wait(),
+                                  sim.timeout(remaining)])
+            else:
+                # No egress at all right now: poll for a routing update.
+                yield sim.timeout(min(remaining, 1000.0))
 
     # ------------------------------------------------------------------
     # Interrupt / broadcast origination
@@ -544,25 +617,37 @@ class Northbridge:
                 # node whose DstLink points straight out of the chip.
                 yield tx_step
                 pkt.coherent = False
-                ev = self._send_on_port_fast(r.dst_link, pkt)
-                if ev is not None:
-                    yield ev
+                try:
+                    ev = self._send_on_port_fast(r.dst_link, pkt)
+                except LinkDownError:
+                    yield from self._forward_fault(pkt)
+                else:
+                    if ev is not None:
+                        yield ev
                 counters_inc("mmio_writes")
             elif r.kind is RouteKind.DRAM_REMOTE:
                 yield req_step
                 port = self._fabric_port_for(r.dst_node)
-                ev = self._send_on_port_fast(port, pkt)
-                if ev is not None:
-                    yield ev
+                try:
+                    ev = self._send_on_port_fast(port, pkt)
+                except LinkDownError:
+                    yield from self._forward_fault(pkt)
+                else:
+                    if ev is not None:
+                        yield ev
                 counters_inc("fabric_writes")
             elif r.kind is RouteKind.MMIO_REMOTE:
                 # MMIO homed at another fabric node: one coherent hop
                 # first, counted apart from plain DRAM fabric writes.
                 yield req_step
                 port = self._fabric_port_for(r.dst_node)
-                ev = self._send_on_port_fast(port, pkt)
-                if ev is not None:
-                    yield ev
+                try:
+                    ev = self._send_on_port_fast(port, pkt)
+                except LinkDownError:
+                    yield from self._forward_fault(pkt)
+                else:
+                    if ev is not None:
+                        yield ev
                 counters_inc("fabric_writes")
                 counters_inc("mmio_remote_writes")
             else:
@@ -634,9 +719,13 @@ class Northbridge:
                 if out_port == port:
                     counters_inc("routing_loops")
                     continue
-                ev = self._send_on_port_fast(out_port, pkt)
-                if ev is not None:
-                    yield ev
+                try:
+                    ev = self._send_on_port_fast(out_port, pkt)
+                except LinkDownError:
+                    yield from self._forward_fault(pkt)
+                else:
+                    if ev is not None:
+                        yield ev
                 counters_inc("forwarded")
             else:
                 counters_inc("master_aborts")
@@ -691,7 +780,12 @@ class Northbridge:
             self._complete_or_misroute(rsp)
             return
         port = self._fabric_port_for(dst, route="response")
-        yield self._send_on_port(port, rsp)
+        try:
+            ev = self._send_on_port(port, rsp)
+        except LinkDownError:
+            yield from self._forward_fault(rsp, response=True)
+        else:
+            yield ev
 
     def _handle_response(self, pkt: Packet, port: int):
         yield self.timing.nb_request_ns
@@ -702,7 +796,12 @@ class Northbridge:
             if out == port:
                 self.counters.inc("routing_loops")
                 return
-            yield self._send_on_port(out, pkt)
+            try:
+                ev = self._send_on_port(out, pkt)
+            except LinkDownError:
+                yield from self._forward_fault(pkt, response=True)
+            else:
+                yield ev
 
     def _complete_or_misroute(self, pkt: Packet) -> None:
         try:

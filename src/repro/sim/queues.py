@@ -186,6 +186,26 @@ class Store:
             if self._putters and self._phantom:
                 self._schedule_phantom_wake()
 
+    def unget(self, item: Any) -> None:
+        """Return ``item`` to the *head* of the queue (a link-level NAK).
+
+        The inverse of :meth:`get`/:meth:`get_deferred` for a consumer
+        that took an item but could not complete it: the item goes back
+        in front of everything queued behind it, so FIFO order is
+        preserved on retransmit.  If the item still holds a deferred
+        capacity slot (``get_deferred`` with a future release time), the
+        newest such slot is dropped -- the item itself re-occupies the
+        queue, and double-counting the slot would understate capacity
+        forever.  The store may transiently exceed ``capacity`` (the
+        consumer's pop already admitted a blocked putter); that models
+        the HT retry buffer holding the NAK'd packet and only delays
+        future puts.
+        """
+        self._items.appendleft(item)
+        ph = self._phantom
+        if ph and ph[-1] > self.sim._now:
+            ph.pop()
+
     def peek(self) -> Any:
         """Look at the head item without removing it (raises if empty)."""
         if not self._items:

@@ -111,32 +111,45 @@ class ClusterTopology:
                     stack.append(n)
         return len(seen) == self.num_supernodes
 
-    def shortest_next_hops(self, src: int) -> Dict[int, TccEdge]:
-        """BFS: for every destination, the first edge on a shortest path."""
+    def shortest_next_hops(self, src: int,
+                           exclude: Iterable[TccEdge] = ()) -> Dict[int, TccEdge]:
+        """BFS: for every destination, the first edge on a shortest path.
+
+        ``exclude`` removes edges from consideration (dead TCC links
+        during fault recovery); destinations only reachable through them
+        are simply absent from the result.
+        """
         from collections import deque
 
+        dead = set(map(id, exclude))
         first_edge: Dict[int, TccEdge] = {}
         dist = {src: 0}
         q = deque([src])
         while q:
             s = q.popleft()
             for n, e in self.neighbors(s):
+                if id(e) in dead:
+                    continue
                 if n not in dist:
                     dist[n] = dist[s] + 1
                     first_edge[n] = first_edge.get(s, e) if s != src else e
                     q.append(n)
         return first_edge
 
-    def hop_distance(self, src: int, dst: int) -> int:
+    def hop_distance(self, src: int, dst: int,
+                     exclude: Iterable[TccEdge] = ()) -> int:
         from collections import deque
 
         if src == dst:
             return 0
+        dead = set(map(id, exclude))
         dist = {src: 0}
         q = deque([src])
         while q:
             s = q.popleft()
-            for n, _ in self.neighbors(s):
+            for n, e in self.neighbors(s):
+                if id(e) in dead:
+                    continue
                 if n not in dist:
                     dist[n] = dist[s] + 1
                     if n == dst:

@@ -1,0 +1,250 @@
+"""Chaos harness: seeded fault plans vs delivery/consistency oracles.
+
+Every test runs a pairwise message workload on a small booted cluster
+while a :class:`FaultPlan` fires (link flaps, credit stalls, BER storms,
+permanent link kills, node crash + warm-reset rejoin), then checks the
+invariants the recovery machinery promises:
+
+* **exactly-once-or-failed** -- every send that returned success was
+  delivered; nothing is delivered twice (monotonic sequence numbers make
+  retransmit duplicates invisible);
+* **prefix delivery** -- the channel is FIFO, so the delivered stream is
+  a gap-free prefix of the sent stream with payloads intact;
+* **byte conservation** -- receiver stats account exactly for the
+  delivered payload bytes (no silent loss, no phantom data);
+* **no deadlock** -- both processes finish (success or a typed
+  ``TransportError``) before the horizon;
+* **determinism** -- the same seed replays to the identical outcome.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.cluster import TCCluster
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.msglib import MsgConfig, TransportError
+from repro.obs.metrics import fault_counters
+from repro.topology import chain, ring
+from repro.util.units import MiB
+
+TRANSIENT = (FaultKind.LINK_FLAP, FaultKind.CREDIT_STALL, FaultKind.BER_STORM)
+DESTRUCTIVE = TRANSIENT + (FaultKind.NODE_CRASH,)
+
+N_MSGS = 60
+MSG_BYTES = 96
+HORIZON_NS = 6e7
+
+
+def payload(i: int) -> bytes:
+    return bytes([i % 251] * MSG_BYTES)
+
+
+@dataclass
+class ChaosOutcome:
+    sent_ok: int = 0
+    delivered: List[bytes] = field(default_factory=list)
+    tx_error: Optional[str] = None
+    rx_error: Optional[str] = None
+    tx_done: bool = False
+    rx_done: bool = False
+    faults: dict = field(default_factory=dict)
+    end_ns: float = 0.0
+    bytes_received: int = 0
+
+    def fingerprint(self) -> Tuple:
+        """Everything that must replay identically for one seed."""
+        return (self.sent_ok, tuple(self.delivered), self.tx_error,
+                self.rx_error, tuple(sorted(self.faults.items())),
+                self.end_ns)
+
+
+def run_chaos(topo_factory, plan: FaultPlan,
+              n_msgs: int = N_MSGS) -> ChaosOutcome:
+    cfg = MsgConfig(send_deadline_ns=5e6, recv_deadline_ns=2e7,
+                    retransmit_base_ns=100_000.0)
+    cl = TCCluster(topo_factory(), msg_cfg=cfg, memory_bytes=64 * MiB).boot()
+    FaultInjector(cl, plan).arm()
+    ep_a = cl.library(0).connect(1)
+    ep_b = cl.library(1).connect(0)
+    out = ChaosOutcome()
+
+    def tx(_proc=None):
+        try:
+            for i in range(n_msgs):
+                yield from ep_a.send(payload(i))
+                out.sent_ok += 1
+        except TransportError as exc:
+            out.tx_error = str(exc)
+        out.tx_done = True
+
+    def rx(_proc=None):
+        try:
+            for _ in range(n_msgs):
+                msg = yield from ep_b.recv()
+                out.delivered.append(bytes(msg))
+        except TransportError as exc:
+            out.rx_error = str(exc)
+        out.rx_done = True
+
+    cl.sim.process(tx(), name="chaos-tx")
+    cl.sim.process(rx(), name="chaos-rx")
+    cl.run(HORIZON_NS)
+    out.faults = {k: v for k, v in fault_counters(cl.sim).as_dict().items()
+                  if v}
+    out.end_ns = cl.sim.now
+    out.bytes_received = ep_b.stats.bytes_received
+    return out
+
+
+def check_oracles(out: ChaosOutcome, n_msgs: int = N_MSGS) -> None:
+    # No deadlock: both sides came to a verdict before the horizon.
+    assert out.tx_done, "sender wedged (deadline watchdog failed to fire)"
+    assert out.rx_done, "receiver wedged (deadline watchdog failed to fire)"
+    # Prefix delivery, payloads intact, no duplicates or reordering.
+    for i, msg in enumerate(out.delivered):
+        assert msg == payload(i), f"message {i} corrupted or out of order"
+    assert len(out.delivered) <= n_msgs
+    # Exactly-once-or-failed: an acked send was consumed by the receiver
+    # (an expired send may still have landed -- at-most-once on failure).
+    assert len(out.delivered) >= out.sent_ok, (
+        f"silent loss: {out.sent_ok} sends acked, "
+        f"{len(out.delivered)} delivered"
+    )
+    if out.tx_error is None and out.rx_error is None:
+        assert out.sent_ok == n_msgs
+        assert len(out.delivered) == n_msgs
+    # Byte conservation.
+    assert out.bytes_received == sum(len(m) for m in out.delivered)
+
+
+# ---------------------------------------------------------------------------
+# Directed scenarios (one per fault kind).
+# ---------------------------------------------------------------------------
+
+def test_empty_plan_is_clean():
+    out = run_chaos(lambda: chain(2), FaultPlan())
+    check_oracles(out)
+    assert out.faults == {}
+    assert out.tx_error is None and out.rx_error is None
+
+
+def test_link_flap_heals():
+    plan = FaultPlan().add(6_000.0, FaultKind.LINK_FLAP, 0,
+                           duration_ns=12_000.0)
+    out = run_chaos(lambda: chain(2), plan)
+    check_oracles(out)
+    assert out.tx_error is None and out.rx_error is None
+    assert len(out.delivered) == N_MSGS
+    assert out.faults.get("retrains", 0) >= 1
+
+
+def test_credit_stall_recovers():
+    plan = FaultPlan().add(5_000.0, FaultKind.CREDIT_STALL, 0,
+                           duration_ns=8_000.0)
+    out = run_chaos(lambda: chain(2), plan)
+    check_oracles(out)
+    assert len(out.delivered) == N_MSGS
+
+
+def test_ber_storm_retries_through():
+    plan = FaultPlan().add(4_000.0, FaultKind.BER_STORM, 0,
+                           duration_ns=30_000.0, magnitude=1e-3)
+    out = run_chaos(lambda: chain(2), plan)
+    check_oracles(out)
+    assert len(out.delivered) == N_MSGS
+
+
+def test_link_kill_routes_around_on_ring():
+    """Killing the direct 0--1 link reroutes through supernode 2."""
+    plan = FaultPlan().add(8_000.0, FaultKind.LINK_KILL, 0)
+    out = run_chaos(lambda: ring(3), plan)
+    check_oracles(out)
+    assert out.tx_error is None and out.rx_error is None
+    assert len(out.delivered) == N_MSGS
+    assert out.faults.get("reroutes", 0) == 3  # every supernode reprogrammed
+    assert out.faults.get("fatal_broadcasts", 0) == 0
+
+
+def test_link_kill_on_chain_is_fatal():
+    """chain(2) has no redundancy: the kill must fail the workload with a
+    typed error (not a hang) and raise the fatal broadcast."""
+    plan = FaultPlan().add(8_000.0, FaultKind.LINK_KILL, 0)
+    out = run_chaos(lambda: chain(2), plan)
+    check_oracles(out)
+    assert out.tx_error is not None or out.rx_error is not None
+    assert out.faults.get("fatal_broadcasts", 0) >= 1
+
+
+def test_node_crash_then_rejoin():
+    plan = (FaultPlan()
+            .add(7_000.0, FaultKind.NODE_CRASH, 1)
+            .add(22_000.0, FaultKind.NODE_WARM_RESET, 1))
+    out = run_chaos(lambda: chain(2), plan)
+    check_oracles(out)
+    assert out.faults.get("node_crashes") == 1
+    assert out.faults.get("node_rejoins") == 1
+    # The crash window is shorter than the send deadline: the workload
+    # rides through on link-level NAK + warm retrain.
+    assert len(out.delivered) == N_MSGS
+
+
+# ---------------------------------------------------------------------------
+# Seeded random plans.
+# ---------------------------------------------------------------------------
+
+def _random_outcome(seed: int) -> ChaosOutcome:
+    plan = FaultPlan.random(seed, horizon_ns=30_000.0, num_links=1,
+                            num_ranks=2, n_events=3, kinds=TRANSIENT)
+    return run_chaos(lambda: chain(2), plan)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_seeded_transient_plans(seed):
+    out = _random_outcome(seed)
+    check_oracles(out)
+    # Transient faults with generous deadlines must always heal.
+    assert out.tx_error is None and out.rx_error is None
+    assert len(out.delivered) == N_MSGS
+
+
+def test_same_seed_replays_identically():
+    a = _random_outcome(3)
+    b = _random_outcome(3)
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_plan_random_is_deterministic():
+    p1 = FaultPlan.random(11, horizon_ns=1e6, n_events=6, kinds=DESTRUCTIVE)
+    p2 = FaultPlan.random(11, horizon_ns=1e6, n_events=6, kinds=DESTRUCTIVE)
+    assert p1.events == p2.events
+    p3 = FaultPlan.random(12, horizon_ns=1e6, n_events=6, kinds=DESTRUCTIVE)
+    assert p1.events != p3.events
+
+
+def test_random_crash_always_pairs_rejoin():
+    plan = FaultPlan.random(7, horizon_ns=1e6, n_events=10,
+                            kinds=(FaultKind.NODE_CRASH,))
+    crashes = [e for e in plan.events if e.kind is FaultKind.NODE_CRASH]
+    rejoins = [e for e in plan.events if e.kind is FaultKind.NODE_WARM_RESET]
+    assert len(crashes) == len(rejoins) == 10
+    for c, r in zip(sorted(crashes, key=lambda e: e.at_ns),
+                    sorted(rejoins, key=lambda e: e.at_ns)):
+        assert r.at_ns > c.at_ns
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(50))
+def test_chaos_sweep(seed):
+    """The acceptance sweep: 50 seeded plans, mixed kinds, all oracles.
+
+    Even kills and crashes are fair game on the ring (route-around keeps
+    connectivity); errors are allowed, silent loss and hangs are not.
+    """
+    kinds = TRANSIENT if seed % 2 else DESTRUCTIVE + (FaultKind.LINK_KILL,)
+    topo = (lambda: ring(3)) if seed % 2 == 0 else (lambda: chain(2))
+    plan = FaultPlan.random(seed, horizon_ns=30_000.0, num_links=3,
+                            num_ranks=3, n_events=4, kinds=kinds)
+    out = run_chaos(topo, plan)
+    check_oracles(out)
