@@ -253,6 +253,30 @@ def bench_datapath_churn():
     }
 
 
+def bench_torus64():
+    """The torus-scale scenario: torus3d(4,4,4) -- 64 supernodes, 128
+    chips -- boots from cold on the folded interval maps and completes a
+    64-pair halo exchange (every supernode streams 64 KiB to its +x
+    neighbour).  The run is deterministic, so its calendar-entry count
+    gates route-table and boot-path regressions at scale the 2-node
+    scenarios cannot see (``torus64_events_max`` in the baseline)."""
+    from repro.bench.sweep_points import torus_point
+
+    t0 = time.perf_counter()
+    point = torus_point((4, 4, 4), size=64 * KiB, workload="halo")
+    wall = time.perf_counter() - t0
+    return {
+        "runtime_s": round(wall, 4),
+        "supernodes": 64,
+        "pairs": point.pairs,
+        "transfer_bytes": point.size,
+        "mbps": point.mbps,
+        "boot_ns": point.boot_ns,
+        "transfer_ns": point.transfer_ns,
+        "events": point.events,
+    }
+
+
 def bench_fig6_full_sweep(jobs):
     """The entire Figure 6 grid, serial vs process-pool fan-out.
 
@@ -408,6 +432,7 @@ def main(argv=None) -> int:
         "fig6_full_sweep": bench_fig6_full_sweep(jobs),
         "mesh_4x4": bench_mesh_4x4(),
         "datapath_churn": bench_datapath_churn(),
+        "torus64": bench_torus64(),
     }
 
     seed = SEED_BASELINE
@@ -456,6 +481,9 @@ def main(argv=None) -> int:
             ("datapath_events_max",
              scenarios["datapath_churn"]["events"],
              "datapath churn scenario"),
+            ("torus64_events_max",
+             scenarios["torus64"]["events"],
+             "torus3d(4,4,4) halo scenario"),
         ]
         failed = False
         for key, got, label in gates:

@@ -17,10 +17,11 @@ times are identical either way (asserted by
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.parallel import PointPayload, SweepPoint, run_sweep
-from ..util.units import CACHELINE
+from ..util.units import CACHELINE, KiB
 from .coherence_bench import CoherenceScalePoint, run_coherence_scaling
 from .microbench import (
     BandwidthPoint,
@@ -36,9 +37,12 @@ __all__ = [
     "fig6_point",
     "multihop_point",
     "coherence_point",
+    "torus_point",
+    "TorusPoint",
     "run_bandwidth_sweep_parallel",
     "run_multihop_parallel",
     "run_coherence_scaling_parallel",
+    "run_torus_sweep_parallel",
 ]
 
 #: Socket bindings per extra-hop count, as in ``run_multihop``.
@@ -92,6 +96,87 @@ def coherence_point(protocol: str, nodes: int, ops_per_node: int = 60,
         node_counts=(nodes,), protocols=(protocol,),
         ops_per_node=ops_per_node, **kwargs,
     )[0]
+
+
+# ---------------------------------------------------------------------------
+# Torus-scale points (64..512 supernodes on the folded interval maps)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TorusPoint:
+    """One torus-scale evaluation point (picklable sweep payload)."""
+
+    shape: Tuple[int, int, int]
+    workload: str          # "corner" | "halo" | "chaos"
+    size: int              # bytes per transfer
+    pairs: int             # concurrent transfers
+    mbps: float            # aggregate goodput over the transfer window
+    boot_ns: float         # virtual time spent booting
+    transfer_ns: float     # virtual time of the transfer window
+    events: int            # calendar entries executed by the transfer
+
+
+def torus_point(shape: Tuple[int, int, int], size: int = 256 * KiB,
+                workload: str = "corner") -> TorusPoint:
+    """One fig6-style bulk transfer on a fresh booted 3D-torus cluster.
+
+    * ``corner`` -- a single stream between antipodal corners (worst-case
+      hop count through the folded interval maps);
+    * ``halo``   -- every supernode streams to its +x neighbour at once
+      (each x-link carries exactly one transfer: the scale-out pattern);
+    * ``chaos``  -- the halo workload with one link killed mid-transfer,
+      exercising route-around at scale; delivery is still verified.
+    """
+    from ..core.api import TCClusterSystem
+    from ..topology import torus3d
+
+    sys_ = TCClusterSystem(torus3d(*shape))
+    sys_.boot()
+    cl = sys_.cluster
+    sim = sys_.sim
+    boot_ns = sim.now
+    topo = cl.topology
+    n = topo.num_supernodes
+    if workload == "corner":
+        pairs = [(cl.rank_of(0), cl.rank_of(n - 1))]
+    elif workload in ("halo", "chaos"):
+        pairs = []
+        for s in range(n):
+            c = list(topo.coords_of(s))
+            c[0] = (c[0] + 1) % shape[0]
+            pairs.append((cl.rank_of(s), cl.rank_of(topo.supernode_at(tuple(c)))))
+    else:
+        raise ValueError(f"unknown torus workload {workload!r}")
+    wins = [_RawWindow(cl, a, b) for a, b in pairs]
+    data = bytes(range(256)) * (size // 256)
+
+    def xfer(win):
+        yield from win.proc.store(win.tx_base, data)
+        yield from win.proc.core.sfence()
+
+    if workload == "chaos":
+        from ..faults import FaultInjector, FaultKind, FaultPlan
+
+        plan = FaultPlan().add(10_000.0, FaultKind.LINK_KILL, 0)
+        FaultInjector(cl, plan).arm()
+    e0 = sim.event_count
+    t0 = sim.now
+    procs = [sim.process(xfer(w)) for w in wins]
+    sim.run_until_event(sim.all_of(procs))
+    sim.run()
+    elapsed = sim.now - t0
+    # Delivery check: every destination window holds the streamed bytes
+    # (also the chaos oracle -- route-around must not eat posted writes).
+    for (a, b), win in zip(pairs, wins):
+        off = win.tx_base - cl.ranks[b].base
+        got = cl.ranks[b].chip.memctrl.memory.read(off, size)
+        if got != data:
+            raise AssertionError(f"torus transfer rank {a}->{b} corrupted")
+    total = size * len(pairs)
+    return TorusPoint(tuple(shape), workload, size, len(pairs),
+                      round(total / (elapsed / 1e9) / 1e6, 1),
+                      round(boot_ns, 1), round(elapsed, 1),
+                      sim.event_count - e0)
 
 
 # ---------------------------------------------------------------------------
@@ -150,6 +235,33 @@ def run_multihop_parallel(
                    args=(extra,), kwargs={"iters": iters, "size": size})
         for extra in range(len(_HOP_BINDINGS))
     ]
+    by_key = _run_points(points, order, jobs, timeout)
+    return [by_key[k] for k in order]
+
+
+def run_torus_sweep_parallel(
+    shapes: Sequence[Tuple[int, int, int]] = ((4, 4, 4),),
+    workloads: Sequence[str] = ("corner", "halo"),
+    size: int = 256 * KiB,
+    jobs: Optional[Any] = None,
+    timeout: Optional[float] = None,
+) -> List[TorusPoint]:
+    """Torus-scale sweep (64..512 supernodes), pool fan-out.
+
+    Each point boots its own cluster from cold, so points are
+    independent and the process pool fans them out safely; the largest
+    shapes are scheduled first so they do not straggle at the tail.
+    """
+    order = [f"torus:{x}x{y}x{z}:{w}" for (x, y, z) in shapes
+             for w in workloads]
+    points = [
+        SweepPoint(key=f"torus:{x}x{y}x{z}:{w}", fn=torus_point,
+                   args=((x, y, z),), kwargs={"size": size, "workload": w})
+        for (x, y, z) in shapes
+        for w in workloads
+    ]
+    points.sort(key=lambda p: p.args[0][0] * p.args[0][1] * p.args[0][2],
+                reverse=True)
     by_key = _run_points(points, order, jobs, timeout)
     return [by_key[k] for k in order]
 

@@ -40,7 +40,7 @@ from ..topology import ClusterTopology, GlobalAddressMap, NodeSpec, SupernodeSpe
 from ..util.calibration import TimingModel, DEFAULT_TIMING
 from ..util.units import MiB
 
-__all__ = ["TCCluster", "ClusterError", "default_layout"]
+__all__ = ["TCCluster", "ClusterError", "default_layout", "auto_layout"]
 
 
 class ClusterError(RuntimeError):
@@ -58,6 +58,46 @@ def default_layout(nodes_per_supernode: int) -> BoardLayout:
         (i, 2, i + 1, 3) for i in range(nodes_per_supernode - 1)
     )
     return BoardLayout(nodes_per_supernode, edges, sb_attach=(0, 0))
+
+
+def _tcc_ports(topology: ClusterTopology) -> set:
+    """Every (chip, port) any supernode's TCC links claim (the layout is
+    shared by all boards, so the union is what must stay free)."""
+    return {(ep.node, ep.port) for e in topology.edges for ep in (e.a, e.b)}
+
+
+def _layout_conflicts(layout: BoardLayout, topology: ClusterTopology) -> bool:
+    used = _tcc_ports(topology)
+    for (ca, pa, cb, pb) in layout.coherent_edges:
+        if (ca, pa) in used or (cb, pb) in used:
+            return True
+    return layout.sb_attach is not None and tuple(layout.sb_attach) in used
+
+
+def auto_layout(topology: ClusterTopology,
+                nodes_per_supernode: int) -> BoardLayout:
+    """A board layout that leaves the topology's TCC ports free.
+
+    Keeps a coherent chain between the chips on whatever ports remain,
+    and attaches a southbridge only if chip 0 still has a port to spare
+    -- torus3d eats six of a 2-chip board's eight ports, so those boards
+    come out headless with the coherent link on the two leftover ports.
+    """
+    from ..opteron.registers import NUM_LINKS
+
+    used = _tcc_ports(topology)
+    free = {c: [p for p in range(NUM_LINKS) if (c, p) not in used]
+            for c in range(nodes_per_supernode)}
+    edges = []
+    for i in range(nodes_per_supernode - 1):
+        if not free[i] or not free[i + 1]:
+            raise ClusterError(
+                f"chips {i}/{i + 1} have no free port left for the "
+                "coherent board link after TCC port assignment"
+            )
+        edges.append((i, free[i].pop(), i + 1, free[i + 1].pop(0)))
+    sb = (0, free[0].pop(0)) if free[0] else None
+    return BoardLayout(nodes_per_supernode, tuple(edges), sb)
 
 
 @dataclass
@@ -89,7 +129,17 @@ class TCCluster:
         self.topology = topology
         self.timing = timing
         self.msg_cfg = msg_cfg or MsgConfig()
-        layout = layout or default_layout(nodes_per_supernode)
+        if layout is None:
+            # Grow the board to fit topologies whose port plan spans
+            # several chips (torus3d needs six TCC ports = two chips),
+            # and swap the stock layout for a fitted one when its
+            # coherent/southbridge ports collide with TCC ports.
+            max_node = max((ep.node for e in topology.edges
+                            for ep in (e.a, e.b)), default=0)
+            nodes_per_supernode = max(nodes_per_supernode, max_node + 1)
+            layout = default_layout(nodes_per_supernode)
+            if _layout_conflicts(layout, topology):
+                layout = auto_layout(topology, nodes_per_supernode)
         if layout.num_chips != nodes_per_supernode:
             raise ClusterError("layout chip count mismatch")
 

@@ -4,7 +4,9 @@ Paper Section IV.D ties packet flow to the MMIO base/limit pairs: every
 supernode's view of the remote address space is a handful of contiguous
 intervals, each steered out of one exit port.  When a TCC link dies
 permanently, this module recomputes those intervals from the surviving
-topology (BFS shortest paths with the dead edges excluded) and rewrites
+topology (dimension-ordered next hops where the walk stays clean, BFS
+around the dead edges elsewhere -- see ``ClusterTopology.
+shortest_next_hops``) and rewrites
 every chip's MMIO pairs -- the same registers firmware programmed at
 boot, so the data path picks the new routes up through the normal
 register-write invalidation hooks.
@@ -22,8 +24,8 @@ from typing import TYPE_CHECKING, List, Tuple
 from ..ht.link import Link, LinkSide
 from ..ht.packet import VirtualChannel
 from ..obs.metrics import fault_counters
-from ..opteron.registers import NUM_MAP_ENTRIES
-from ..topology.address_assignment import MmioDirective, _merge_ranges
+from ..opteron.registers import NUM_MMIO_ENTRIES
+from ..topology.address_assignment import MmioDirective, exit_intervals
 from ..topology.graph import TccEdge
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -103,29 +105,24 @@ class RouteManager:
         ranges = cluster.amap.supernode_ranges
         fc = fault_counters(self.sim)
         for s in range(topo.num_supernodes):
-            hops = topo.shortest_next_hops(s, exclude=self.dead_edges)
-            by_exit: dict = {}
-            for dst in range(topo.num_supernodes):
-                if dst == s:
-                    continue
-                e = hops.get(dst)
-                if e is None:
-                    continue  # unreachable: leave the window unmapped
-                ep = e.end_at(s)
-                by_exit.setdefault((ep.node, ep.port), []).append(ranges[dst])
+            # Same folded-interval construction as boot-time assignment
+            # (address_assignment.exit_intervals), so the post-fault map
+            # respects the folded ranges; unreachable destinations are
+            # absent and leave their windows unmapped.
             mmio: List[MmioDirective] = []
-            for (exit_node, exit_port), rs in sorted(by_exit.items()):
-                for b, l in _merge_ranges(rs):
+            for (exit_node, exit_port), rs in exit_intervals(
+                    topo, ranges, s, exclude=self.dead_edges).items():
+                for b, l in rs:
                     mmio.append(MmioDirective(b, l, exit_node, exit_port))
-            if len(mmio) > NUM_MAP_ENTRIES:
+            if len(mmio) > NUM_MMIO_ENTRIES:
                 raise RouteError(
                     f"supernode {s}: post-fault routing needs {len(mmio)} "
-                    f"MMIO intervals, registers hold {NUM_MAP_ENTRIES}"
+                    f"MMIO intervals, registers hold {NUM_MMIO_ENTRIES}"
                 )
             board = cluster.boards[s]
             enum = cluster.reports[s].enumeration
             for chip in board.chips:
-                for i in range(NUM_MAP_ENTRIES):
+                for i in range(NUM_MMIO_ENTRIES):
                     chip.mmio_pair(i).disable()
                 for i, m in enumerate(mmio):
                     dst_nid = enum.nodeid_of(board.chips[m.exit_node])

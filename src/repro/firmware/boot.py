@@ -30,8 +30,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..opteron import MemoryType, OpteronChip
 from ..opteron.mtrr import MTRRError
+from ..opteron.registers import NUM_MAP_ENTRIES, NUM_MMIO_ENTRIES
 from ..sim import AllOf, Barrier, Simulator
-from ..topology.address_assignment import NodeMapPlan
+from ..topology.address_assignment import NodeMapPlan, _merge_ranges
 from .board import Board
 from .enumeration import EnumerationResult, coherent_enumeration
 from .southbridge import Southbridge
@@ -324,8 +325,9 @@ class TCClusterFirmware:
         enum = self.report.enumeration
         for ci, chip in enumerate(self.board.chips):
             plan = self.plan.node_plans[ci]
-            for i in range(8):
+            for i in range(NUM_MAP_ENTRIES):
                 chip.dram_pair(i).disable()
+            for i in range(NUM_MMIO_ENTRIES):
                 chip.mmio_pair(i).disable()
             for i, d in enumerate(plan.dram):
                 dst = enum.nodeid_of(self.board.chips[d.dst_node])
@@ -341,20 +343,36 @@ class TCClusterFirmware:
         self._mark("northbridge_init")
 
     def cpu_msr_init(self):
-        """MTRRs: map the TCC MMIO windows for combining transmit."""
+        """MTRRs: map the TCC MMIO windows for combining transmit.
+
+        The WC map only needs the *union* of the node's MMIO windows:
+        the global space is contiguous and the local supernode slab is
+        contiguous, so that union is at most two runs no matter how many
+        folded exit windows the interval routing fragments into.
+        """
         self._enter("cpu_msr_init")
         for ci, chip in enumerate(self.board.chips):
             plan = self.plan.node_plans[ci]
             chip.mtrr.clear()
-            for m in plan.mmio:
-                for base, size in mtrr_cover(m.base, m.limit):
-                    try:
-                        chip.mtrr.add(base, size, MemoryType.WC)
-                    except MTRRError as exc:
-                        raise FirmwareError(
-                            f"{chip.name}: TCC window [{m.base:#x},{m.limit:#x})"
-                            f" does not fit the MTRRs: {exc}"
-                        ) from exc
+            runs = _merge_ranges([(m.base, m.limit) for m in plan.mmio])
+            blocks = [blk for b, l in runs for blk in mtrr_cover(b, l)]
+            if len(blocks) + 4 > chip.mtrr.num_variable:
+                # Fam 10h ships eight variable MTRRs; a torus-scale run
+                # decomposes into more power-of-two blocks than that.
+                # The custom kernel the paper mandates (Section VI) maps
+                # these windows write-combining through the PAT instead,
+                # which has no range-count limit -- modeled as lifted
+                # headroom (+4 spare for the kernel's own UC windows).
+                chip.mtrr.num_variable = len(blocks) + 4
+            for base, size in blocks:
+                try:
+                    chip.mtrr.add(base, size, MemoryType.WC)
+                except MTRRError as exc:
+                    raise FirmwareError(
+                        f"{chip.name}: TCC window [{base:#x},"
+                        f"{base + size:#x}) does not fit the MTRRs: {exc}"
+                    ) from exc
+            for _ in runs:
                 yield from self.ctx.step(1)
         self._mark("cpu_msr_init")
 

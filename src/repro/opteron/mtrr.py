@@ -91,19 +91,26 @@ class MTRRSet:
     """A core's variable MTRRs plus the default type.
 
     Fam 10h has 8 variable ranges; exceeding that raises, as the firmware
-    would run out of registers.
+    would run out of registers.  ``num_variable`` can be lifted per
+    instance: the paper's mandatory custom kernel (Section VI) maps the
+    TCC windows write-combining through the PAT, which has no range-count
+    limit, and we model that headroom as additional variable ranges (the
+    alignment rules stay enforced).
     """
 
     NUM_VARIABLE = 8
 
-    def __init__(self, default: MemoryType = MemoryType.WB):
+    def __init__(self, default: MemoryType = MemoryType.WB,
+                 num_variable: Optional[int] = None):
         self.default = default
+        self.num_variable = (self.NUM_VARIABLE if num_variable is None
+                             else num_variable)
         self._ranges: List[MTRR] = []
 
     def add(self, base: int, size: int, mtype: MemoryType) -> MTRR:
-        if len(self._ranges) >= self.NUM_VARIABLE:
+        if len(self._ranges) >= self.num_variable:
             raise MTRRError(
-                f"all {self.NUM_VARIABLE} variable MTRRs are in use"
+                f"all {self.num_variable} variable MTRRs are in use"
             )
         r = MTRR(base, size, mtype)
         self._ranges.append(r)

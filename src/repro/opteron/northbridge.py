@@ -186,6 +186,7 @@ class Northbridge:
                 re = bool(self.regs.field(Function.ADDRESS_MAP, d.base_off, 0, 1))
                 we = bool(self.regs.field(Function.ADDRESS_MAP, d.base_off, 1, 1))
                 dram.append(_DramEntry(d.base, d.limit, d.dst_node, re, we))
+        for i in range(regs_mod.NUM_MMIO_ENTRIES):
             m = MmioPairAccessor(self.regs, i)
             if m.enabled:
                 re = bool(self.regs.field(Function.ADDRESS_MAP, m.base_off, 0, 1))
@@ -414,16 +415,33 @@ class Northbridge:
             return
         if r.kind is RouteKind.DRAM_REMOTE:
             # Coherent fabric read: tag + request + response.  A dead
-            # egress link fails the load (the caller sees LinkDownError
-            # and the message layer converts it to a TransportError);
-            # waiting here would leave the read's tag allocated forever.
-            try:
-                data = yield from self._remote_read(addr, length, r.dst_node)
-            except LinkDownError as exc:
-                done.fail(exc)
+            # egress link no longer fails the load outright: the request
+            # never left (its SrcTag was released), so the requester can
+            # safely wait for a retrain or routing update and re-issue,
+            # bounded by the same patience window the posted recovery
+            # path uses.  Past the window the caller sees LinkDownError.
+            deadline = self.sim.now + self.link_down_wait_ns
+            while True:
+                try:
+                    data = yield from self._remote_read(addr, length, r.dst_node)
+                except LinkDownError as exc:
+                    remaining = deadline - self.sim.now
+                    if remaining <= 0:
+                        done.fail(exc)
+                        return
+                    try:
+                        port = self._fabric_port_for(r.dst_node)
+                        binding = self.chip.ports.get(port)
+                    except MasterAbort:
+                        binding = None
+                    if binding is not None:
+                        yield AnyOf(self.sim, [binding.link.up_gate.wait(),
+                                               self.sim.timeout(remaining)])
+                    else:
+                        yield self.sim.timeout(min(remaining, 1000.0))
+                    continue
+                done.succeed(data)
                 return
-            done.succeed(data)
-            return
         # MMIO read: the writes-only rule.
         if self.strict_reads:
             try:
@@ -456,7 +474,13 @@ class Northbridge:
         tag = self.tags.allocate(dst_node, context=response)
         pkt = make_read(addr, length // 4, srctag=tag, unitid=self.nodeid, coherent=True)
         port = self._fabric_port_for(dst_node)
-        yield self._send_on_port(port, pkt)
+        try:
+            yield self._send_on_port(port, pkt)
+        except LinkDownError:
+            # The request never left: release the SrcTag so a retry (or
+            # any later read) does not exhaust the matching table.
+            self.tags.match(tag)
+            raise
         data = yield response
         self.counters.inc("remote_reads")
         return data

@@ -43,6 +43,7 @@ __all__ = [
     "GRANULARITY",
     "NUM_LINKS",
     "NUM_MAP_ENTRIES",
+    "NUM_MMIO_ENTRIES",
     "RESET_NODEID",
 ]
 
@@ -50,8 +51,14 @@ __all__ = [
 GRANULARITY = 1 << 24
 #: Opteron K10: "up to four outgoing HyperTransport links" (paper Sec. III).
 NUM_LINKS = 4
-#: Eight DRAM and eight MMIO base/limit pairs (BKDG F1).
+#: Eight DRAM base/limit pairs (BKDG F1).
 NUM_MAP_ENTRIES = 8
+#: MMIO base/limit pairs.  The BKDG ships eight; we model a 16-entry file
+#: (F1 offsets 0x80..0xFC, clear of the DRAM pairs at 0x40..0x7C) because
+#: dimension-ordered interval routing on a 3D torus can need up to nine
+#: folded intervals per node (three runs per dimension) -- see DESIGN.md
+#: "Scaling the address map".
+NUM_MMIO_ENTRIES = 16
 #: Paper Section IV.E: "After system reset each NodeID register in each AP
 #: is initially set to seven."
 RESET_NODEID = 7
@@ -348,7 +355,7 @@ class MmioPairAccessor:
     """
 
     def __init__(self, regs: RegisterFile, index: int):
-        if not 0 <= index < NUM_MAP_ENTRIES:
+        if not 0 <= index < NUM_MMIO_ENTRIES:
             raise ValueError(f"MMIO map entry {index} out of range")
         self.regs = regs
         self.base_off = F1_MMIO_BASE + 8 * index

@@ -55,7 +55,7 @@ import math
 from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, List, Optional
 
-from ..ht.link import LinkState
+from ..ht.link import LinkDownError, LinkState
 from ..ht.packet import VirtualChannel, make_posted_write
 from ..sim import Event, Interrupt
 from ..util.units import CACHELINE
@@ -576,10 +576,18 @@ class BulkTrain:
         if put_ev is None:
             if attempt > T:
                 yield attempt - T  # remainder of the crossbar sleep
-            ev = self.nb._send_on_port_fast(self.port,
-                                            self._make_pkt(p, coherent=False))
-            if ev is not None:
-                yield ev
+            pkt = self._make_pkt(p, coherent=False)
+            try:
+                ev = self.nb._send_on_port_fast(self.port, pkt)
+            except LinkDownError:
+                # Same contract as the per-packet dispatcher: a link that
+                # died between the demotion replay and this send parks the
+                # packet on the fault path (retrain wait / reroute) instead
+                # of crashing the shim.
+                yield from self.nb._forward_fault(pkt)
+            else:
+                if ev is not None:
+                    yield ev
         else:
             yield put_ev
         self.nb.counters.inc("mmio_writes")

@@ -22,11 +22,16 @@ sizes, this module
    base/limit register pairs, and each node's map must tile the global
    space without holes.
 
-Routing is dimension-ordered (Y first, then X) on meshes -- with row-major
-supernode numbering this yields at most one interval per mesh port, which
-is why the paper's n x n arrangement works -- and BFS shortest-path on
-general graphs (which may fragment intervals; the validator then counts
-whether the map still fits the registers).
+Routing comes from :meth:`ClusterTopology.shortest_next_hops`:
+dimension-ordered (most significant dimension first) on grid topologies,
+BFS shortest-path on general graphs.  With row-major supernode numbering,
+dimension-ordered routing makes every exit direction's destination set a
+union of at most ~3 contiguous address runs **per dimension** -- the
+*folded interval* scheme -- so a supernode needs O(degree + log N) MMIO
+base/limit pairs instead of O(N), independent of cluster size (see
+:func:`folded_mmio_bound`).  BFS on irregular graphs may fragment
+intervals; the validator then counts whether the map still fits the
+registers.
 
 The 48-bit physical address space caps the cluster ("the combined global
 address space in TCCluster is currently limited to 256 Terabyte").
@@ -35,9 +40,9 @@ address space in TCCluster is currently limited to 256 Terabyte").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..opteron.registers import GRANULARITY, NUM_MAP_ENTRIES
+from ..opteron.registers import GRANULARITY, NUM_MAP_ENTRIES, NUM_MMIO_ENTRIES
 from .graph import ClusterTopology, Endpoint, TccEdge, TopologyError
 
 __all__ = [
@@ -49,6 +54,8 @@ __all__ = [
     "GlobalAddressMap",
     "AddressAssignmentError",
     "assign_addresses",
+    "exit_intervals",
+    "folded_mmio_bound",
     "uniform_cluster",
 ]
 
@@ -159,32 +166,6 @@ class GlobalAddressMap:
         raise KeyError(f"no node {node} in supernode {supernode}")
 
 
-def _mesh_exit(topology: ClusterTopology, src: int, dst: int) -> TccEdge:
-    """Dimension-ordered (Y then X) next hop on a 2D mesh."""
-    rows, cols = topology.shape  # type: ignore[misc]
-    r, c = divmod(src, cols)
-    rd, cd = divmod(dst, cols)
-    if rd != r:
-        step = (r + 1, c) if rd > r else (r - 1, c)
-    else:
-        step = (r, c + 1) if cd > c else (r, c - 1)
-    nxt = step[0] * cols + step[1]
-    for n, e in topology.neighbors(src):
-        if n == nxt:
-            return e
-    raise TopologyError(f"mesh edge {src}->{nxt} missing")
-
-
-def _next_hop_table(topology: ClusterTopology, src: int) -> Dict[int, TccEdge]:
-    if topology.kind in ("mesh2d",) and topology.shape and len(topology.shape) == 2:
-        return {
-            dst: _mesh_exit(topology, src, dst)
-            for dst in range(topology.num_supernodes)
-            if dst != src
-        }
-    return topology.shortest_next_hops(src)
-
-
 def _merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
     """Coalesce adjacent/overlapping [base, limit) intervals."""
     if not ranges:
@@ -198,6 +179,42 @@ def _merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
         else:
             out.append((b, l))
     return out
+
+
+def exit_intervals(
+    topology: ClusterTopology,
+    supernode_ranges: Sequence[Tuple[int, int]],
+    src: int,
+    exclude: Iterable[TccEdge] = (),
+) -> Dict[Tuple[int, int], List[Tuple[int, int]]]:
+    """Folded MMIO intervals for one supernode: the single source of truth
+    shared by boot-time assignment and post-fault RouteManager rewrites.
+
+    Returns ``{(exit_node, exit_port): merged [base, limit) runs}`` over
+    every remote destination reachable from ``src`` with ``exclude``
+    edges dead.  Unreachable destinations are simply absent (the caller
+    decides whether that is a hole or a sync-flood condition).
+    """
+    hops = topology.shortest_next_hops(src, exclude=exclude)
+    by_exit: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for dst, edge in hops.items():
+        ep = edge.end_at(src)
+        by_exit.setdefault((ep.node, ep.port), []).append(supernode_ranges[dst])
+    return {key: _merge_ranges(by_exit[key]) for key in sorted(by_exit)}
+
+
+def folded_mmio_bound(topology: ClusterTopology, supernode: int) -> int:
+    """Register-pressure guarantee of the folded scheme: O(degree + log N).
+
+    Dimension-ordered routing over a row-major numbering gives each
+    dimension's destination set at most ~3 contiguous runs (the two
+    segments around the supernode's own slab plus a wrap cut), so the
+    per-supernode MMIO pair count is bounded by the port count plus a
+    logarithmic fragmentation term -- never the O(N) a per-remote-node
+    table would need.
+    """
+    n = topology.num_supernodes
+    return topology.degree(supernode) + max(1, (max(n - 1, 1)).bit_length())
 
 
 def assign_addresses(
@@ -238,45 +255,51 @@ def assign_addresses(
             dram.append(DramDirective(nb, nb + node.dram_bytes, node_idx))
             nb += node.dram_bytes
 
-        # Remote slices grouped by exit endpoint.
-        hops = _next_hop_table(topology, s)
-        by_exit: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
-        for dst in range(topology.num_supernodes):
-            if dst == s:
-                continue
-            edge = hops.get(dst)
-            if edge is None:
-                raise AddressAssignmentError(f"no route {s}->{dst}")
-            ep = edge.end_at(s)
-            by_exit.setdefault((ep.node, ep.port), []).append(ranges[dst])
-
+        # Remote slices grouped by exit endpoint, folded into runs.
         mmio: List[MmioDirective] = []
-        for (exit_node, exit_port), rs in sorted(by_exit.items()):
-            for b, l in _merge_ranges(rs):
+        for (exit_node, exit_port), rs in exit_intervals(topology, ranges, s).items():
+            for b, l in rs:
                 mmio.append(MmioDirective(b, l, exit_node, exit_port))
 
         for node_idx in range(len(spec.nodes)):
             plan = NodeMapPlan(s, node_idx, dram=list(dram), mmio=list(mmio))
-            _validate_plan(plan, spec, global_base, global_limit)
+            _validate_plan(plan, spec, global_base, global_limit,
+                           topology=topology)
             plans[(s, node_idx)] = plan
 
     return GlobalAddressMap(topology, tuple(specs), base, ranges, plans)
 
 
 def _validate_plan(plan: NodeMapPlan, spec: SupernodeSpec,
-                   global_base: int, global_limit: int) -> None:
-    """Interval-routing feasibility for one node's registers."""
+                   global_base: int, global_limit: int,
+                   topology: Optional[ClusterTopology] = None) -> None:
+    """Interval-routing feasibility for one node's registers.
+
+    Proves, at any scale, that the node's DRAM + MMIO intervals tile the
+    global space exactly once (full coverage, no overlap, no holes --
+    paper Fig. 3), fit the register files, and -- on grid topologies --
+    respect the folded O(degree + log N) register-pressure bound.
+    """
     if len(plan.dram) > NUM_MAP_ENTRIES:
         raise AddressAssignmentError(
             f"supernode {plan.supernode}: {len(plan.dram)} DRAM ranges exceed "
             f"the {NUM_MAP_ENTRIES} base/limit pairs"
         )
-    if len(plan.mmio) > NUM_MAP_ENTRIES:
+    if len(plan.mmio) > NUM_MMIO_ENTRIES:
         raise AddressAssignmentError(
             f"supernode {plan.supernode} node {plan.node}: {len(plan.mmio)} "
-            f"MMIO intervals exceed the {NUM_MAP_ENTRIES} base/limit pairs "
+            f"MMIO intervals exceed the {NUM_MMIO_ENTRIES} base/limit pairs "
             "(interval routing cannot express this topology/numbering)"
         )
+    if topology is not None and topology.is_grid:
+        bound = folded_mmio_bound(topology, plan.supernode)
+        if len(plan.mmio) > bound:
+            raise AddressAssignmentError(
+                f"supernode {plan.supernode} node {plan.node}: "
+                f"{len(plan.mmio)} MMIO intervals break the folded "
+                f"O(degree + log N) bound ({bound}) -- the numbering is "
+                "not interval-routing friendly"
+            )
     # Hole-free tiling of the global space (paper Fig. 3).
     ivals = [(d.base, d.limit) for d in plan.dram] + [
         (m.base, m.limit) for m in plan.mmio

@@ -8,6 +8,16 @@ topologies are low-degree: chains, rings, 2D meshes/tori.
 
 A :class:`ClusterTopology` is a labeled graph: vertices are supernode
 indices, edges carry which (node-within-supernode, port) each end uses.
+
+Grid topologies (``mesh2d``/``torus2d``/``torus3d``) additionally carry
+their dimension structure (``dims``/``wrap``), which enables
+**dimension-ordered shortest next-hop computation**: route the most
+significant dimension to completion first, then the next, and so on.
+With row-major supernode numbering this is what keeps interval routing
+feasible at scale -- every routing direction's destination set is a
+union of at most a couple of contiguous address runs (the "folded
+ranges" of :mod:`repro.topology.address_assignment`), independent of the
+cluster size.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ __all__ = [
     "ring",
     "mesh2d",
     "torus2d",
+    "torus3d",
     "fully_connected",
     "TopologyError",
 ]
@@ -65,13 +76,18 @@ class ClusterTopology:
     """Supernode graph with per-edge port assignments."""
 
     def __init__(self, num_supernodes: int, edges: Iterable[TccEdge],
-                 kind: str = "custom", shape: Optional[Tuple[int, ...]] = None):
+                 kind: str = "custom", shape: Optional[Tuple[int, ...]] = None,
+                 wrap: Optional[Tuple[bool, ...]] = None):
         if num_supernodes <= 0:
             raise TopologyError("need at least one supernode")
         self.num_supernodes = num_supernodes
         self.edges: List[TccEdge] = list(edges)
         self.kind = kind
         self.shape = shape
+        #: Per-dimension wraparound flags; non-None marks a *grid* topology
+        #: (row-major numbering over ``shape``) eligible for
+        #: dimension-ordered routing.
+        self.wrap = wrap
         self._adjacency: Dict[int, List[TccEdge]] = {
             i: [] for i in range(num_supernodes)
         }
@@ -91,6 +107,142 @@ class ClusterTopology:
                 raise TopologyError("self-loop TCC link")
             self._adjacency[e.a.supernode].append(e)
             self._adjacency[e.b.supernode].append(e)
+        #: (supernode, dim, sign) -> exit edge, built for grid topologies.
+        self._dim_edges: Dict[Tuple[int, int, int], TccEdge] = {}
+        if wrap is not None:
+            if shape is None or len(shape) != len(wrap):
+                raise TopologyError("wrap flags require a matching shape")
+            self._index_grid_edges()
+
+    @property
+    def is_grid(self) -> bool:
+        return self.wrap is not None
+
+    # ------------------------------------------------------------------
+    # Grid coordinate helpers (row-major numbering over ``shape``)
+    # ------------------------------------------------------------------
+    def coords_of(self, supernode: int) -> Tuple[int, ...]:
+        if self.shape is None:
+            raise TopologyError(f"{self.kind} topology has no grid shape")
+        out = []
+        for size in reversed(self.shape):
+            out.append(supernode % size)
+            supernode //= size
+        return tuple(reversed(out))
+
+    def supernode_at(self, coords: Sequence[int]) -> int:
+        if self.shape is None:
+            raise TopologyError(f"{self.kind} topology has no grid shape")
+        s = 0
+        for c, size in zip(coords, self.shape):
+            s = s * size + (c % size)
+        return s
+
+    def _index_grid_edges(self) -> None:
+        """Classify every edge as (dim, sign) from its coordinate delta.
+
+        A size-2 dimension has a single physical link serving both
+        directions (the wrap edge would be a parallel link), so both
+        signs map to it.
+        """
+        assert self.shape is not None and self.wrap is not None
+        for e in self.edges:
+            ca = self.coords_of(e.a.supernode)
+            cb = self.coords_of(e.b.supernode)
+            deltas = [(d, cb[d] - ca[d]) for d in range(len(ca))
+                      if cb[d] != ca[d]]
+            if len(deltas) != 1:
+                raise TopologyError(
+                    f"grid edge {e.a.supernode}->{e.b.supernode} spans "
+                    f"{len(deltas)} dimensions"
+                )
+            dim, delta = deltas[0]
+            size = self.shape[dim]
+            two_ring = self.wrap[dim] and size == 2
+            if abs(delta) == 1 and not two_ring:
+                sign_a = 1 if delta > 0 else -1
+            elif self.wrap[dim] and abs(delta) == size - 1:
+                # Wrap edge (or the single edge of a size-2 ring): from
+                # the high end, the positive direction leads to 0.
+                sign_a = 1 if delta < 0 else -1
+            else:
+                raise TopologyError(
+                    f"edge {e.a.supernode}->{e.b.supernode} is not a grid "
+                    f"neighbour step in dimension {dim}"
+                )
+            if two_ring:
+                for sign in (-1, 1):
+                    self._dim_edges[(e.a.supernode, dim, sign)] = e
+                    self._dim_edges[(e.b.supernode, dim, sign)] = e
+            else:
+                self._dim_edges[(e.a.supernode, dim, sign_a)] = e
+                self._dim_edges[(e.b.supernode, dim, -sign_a)] = e
+
+    def _dim_step(self, src_c: int, dst_c: int, dim: int) -> int:
+        """Direction (+1/-1) dimension-ordered routing takes in ``dim``.
+
+        Shortest modular distance on wrapped dimensions, ties broken
+        toward +; plain sign of the delta on mesh dimensions.
+        """
+        assert self.shape is not None and self.wrap is not None
+        size = self.shape[dim]
+        if not self.wrap[dim]:
+            return 1 if dst_c > src_c else -1
+        fwd = (dst_c - src_c) % size
+        bwd = (src_c - dst_c) % size
+        return 1 if fwd <= bwd else -1
+
+    def dimension_next_hop(self, src: int, dst: int) -> TccEdge:
+        """First edge of the dimension-ordered shortest path src -> dst.
+
+        Dimensions are corrected most-significant first, which with
+        row-major numbering keeps each exit direction's destination set
+        contiguous (the folded-interval property)."""
+        if not self.is_grid:
+            raise TopologyError(f"{self.kind} topology is not a grid")
+        sc = self.coords_of(src)
+        dc = self.coords_of(dst)
+        for dim in range(len(sc)):
+            if sc[dim] != dc[dim]:
+                sign = self._dim_step(sc[dim], dc[dim], dim)
+                edge = self._dim_edges.get((src, dim, sign))
+                if edge is None:
+                    raise TopologyError(
+                        f"no grid edge at supernode {src} dim {dim} "
+                        f"sign {sign:+d}"
+                    )
+                return edge
+        raise TopologyError(f"dimension_next_hop({src}, {dst}): src == dst")
+
+    def diameter(self) -> int:
+        """Hop diameter; analytic for grids, BFS eccentricity otherwise."""
+        if self.is_grid:
+            assert self.shape is not None and self.wrap is not None
+            return sum(size // 2 if w else size - 1
+                       for size, w in zip(self.shape, self.wrap))
+        worst = 0
+        for src in range(self.num_supernodes):
+            dist = self._bfs_distances(src)
+            if len(dist) != self.num_supernodes:
+                raise TopologyError("diameter of a disconnected topology")
+            worst = max(worst, max(dist.values()))
+        return worst
+
+    def _bfs_distances(self, src: int,
+                       dead_ids: frozenset = frozenset()) -> Dict[int, int]:
+        from collections import deque
+
+        dist = {src: 0}
+        q = deque([src])
+        while q:
+            s = q.popleft()
+            for n, e in self.neighbors(s):
+                if dead_ids and id(e) in dead_ids:
+                    continue
+                if n not in dist:
+                    dist[n] = dist[s] + 1
+                    q.append(n)
+        return dist
 
     def neighbors(self, supernode: int) -> List[Tuple[int, TccEdge]]:
         return [(e.other(supernode).supernode, e) for e in self._adjacency[supernode]]
@@ -111,14 +263,91 @@ class ClusterTopology:
                     stack.append(n)
         return len(seen) == self.num_supernodes
 
+    def _dim_walk_edges(self, src: int, dst: int) -> List[TccEdge]:
+        """Every edge of the dimension-ordered walk src -> dst, in order."""
+        edges = []
+        cur = src
+        while cur != dst:
+            e = self.dimension_next_hop(cur, dst)
+            edges.append(e)
+            cur = e.other(cur).supernode
+        return edges
+
     def shortest_next_hops(self, src: int,
                            exclude: Iterable[TccEdge] = ()) -> Dict[int, TccEdge]:
-        """BFS: for every destination, the first edge on a shortest path.
+        """For every destination, the first edge on a shortest path.
 
-        ``exclude`` removes edges from consideration (dead TCC links
-        during fault recovery); destinations only reachable through them
-        are simply absent from the result.
+        Grid topologies use dimension-ordered routing (which is what the
+        folded MMIO interval scheme encodes); everything else falls back
+        to plain BFS.  ``exclude`` removes edges from consideration (dead
+        TCC links during fault recovery); destinations only reachable
+        through them are simply absent from the result.
+
+        Post-fault grid routing mixes the two: a destination keeps its
+        dimension-ordered exit iff the *entire* dim-ordered walk to it
+        avoids the dead edges, else it takes a shortest-path exit in the
+        surviving graph, chosen with dimension-ordered *preference* (the
+        first preferred direction that still lies on a shortest path).
+        The preference matters for register pressure, not correctness:
+        detoured destinations that share a region pick the same exit, so
+        their address ranges stay folded instead of fragmenting across
+        the register file.  The mix is loop-free: "dim-walk is clean" is
+        suffix-closed (the walk from the next hop is a suffix of this
+        one, since the hop choice depends only on (current, dst)), so
+        once a packet enters dim-ordered mode it stays there and
+        terminates; while in detour mode each hop strictly shrinks the
+        surviving-graph distance.
         """
+        if not self.is_grid:
+            return self._bfs_next_hops(src, exclude)
+        dead = frozenset(map(id, exclude))
+        if not dead:
+            return {dst: self.dimension_next_hop(src, dst)
+                    for dst in range(self.num_supernodes) if dst != src}
+        first_edge: Dict[int, TccEdge] = {}
+        dirty: List[int] = []
+        for dst in range(self.num_supernodes):
+            if dst == src:
+                continue
+            walk = self._dim_walk_edges(src, dst)
+            if not any(id(e) in dead for e in walk):
+                first_edge[dst] = walk[0]
+            else:
+                dirty.append(dst)
+        if dirty:
+            dist_src = self._bfs_distances(src, dead_ids=dead)
+            # (dim, sign) -> alive edge at src, plus each neighbour's
+            # distance field in the surviving graph (degree-many BFS runs).
+            dir_edge = {(dim, sign): e
+                        for (s, dim, sign), e in self._dim_edges.items()
+                        if s == src and id(e) not in dead}
+            nbr_dist = {}
+            for e in dir_edge.values():
+                n = e.other(src).supernode
+                if n not in nbr_dist:
+                    nbr_dist[n] = self._bfs_distances(n, dead_ids=dead)
+            # A FIXED direction order (not "toward dst") keeps the exit
+            # choice uniform across the detoured region: neighbouring
+            # destinations pick the same DAG edge wherever one serves
+            # them all, so their address ranges merge into few runs.
+            directions = sorted(dir_edge, key=lambda k: (k[0], -k[1]))
+            for dst in dirty:
+                d = dist_src.get(dst)
+                if d is None:
+                    continue  # unreachable: absent from the table
+                chosen = None
+                for key in directions:
+                    e = dir_edge[key]
+                    n = e.other(src).supernode
+                    if nbr_dist[n].get(dst) == d - 1:
+                        chosen = e
+                        break
+                if chosen is not None:  # always, for builder-made grids
+                    first_edge[dst] = chosen
+        return first_edge
+
+    def _bfs_next_hops(self, src: int,
+                       exclude: Iterable[TccEdge] = ()) -> Dict[int, TccEdge]:
         from collections import deque
 
         dead = set(map(id, exclude))
@@ -173,7 +402,7 @@ def chain(n: int, node: int = 0, left_port: int = 1, right_port: int = 2) -> Clu
     edges = [
         _edge(i, node, right_port, i + 1, node, left_port) for i in range(n - 1)
     ]
-    return ClusterTopology(n, edges, kind="chain", shape=(n,))
+    return ClusterTopology(n, edges, kind="chain", shape=(n,), wrap=(False,))
 
 
 def ring(n: int, node: int = 0, left_port: int = 1, right_port: int = 2) -> ClusterTopology:
@@ -182,7 +411,7 @@ def ring(n: int, node: int = 0, left_port: int = 1, right_port: int = 2) -> Clus
     edges = [
         _edge(i, node, right_port, (i + 1) % n, node, left_port) for i in range(n)
     ]
-    return ClusterTopology(n, edges, kind="ring", shape=(n,))
+    return ClusterTopology(n, edges, kind="ring", shape=(n,), wrap=(True,))
 
 
 def mesh2d(rows: int, cols: int, node: int = 0,
@@ -206,24 +435,70 @@ def mesh2d(rows: int, cols: int, node: int = 0,
                 edges.append(_edge(sid(r, c), node, pe, sid(r, c + 1), node, pw))
             if r + 1 < rows:
                 edges.append(_edge(sid(r, c), node, ps, sid(r + 1, c), node, pn))
-    return ClusterTopology(rows * cols, edges, kind="mesh2d", shape=(rows, cols))
+    return ClusterTopology(rows * cols, edges, kind="mesh2d",
+                           shape=(rows, cols), wrap=(False, False))
 
 
 def torus2d(rows: int, cols: int, node: int = 0,
             ports: Sequence[int] = (0, 1, 2, 3)) -> ClusterTopology:
-    if rows < 3 or cols < 3:
-        raise TopologyError("a 2D torus needs at least 3x3 supernodes")
+    if rows < 2 or cols < 2:
+        raise TopologyError("a 2D torus needs at least 2x2 supernodes")
     pw, pe, pn, ps = ports
 
     def sid(r: int, c: int) -> int:
         return r * cols + c
 
+    # A size-2 ring dimension has a single physical link per pair (the
+    # wrap edge would be a parallel link), hence the ``or size > 2``.
     edges = []
     for r in range(rows):
         for c in range(cols):
-            edges.append(_edge(sid(r, c), node, pe, sid(r, (c + 1) % cols), node, pw))
-            edges.append(_edge(sid(r, c), node, ps, sid((r + 1) % rows, c), node, pn))
-    return ClusterTopology(rows * cols, edges, kind="torus2d", shape=(rows, cols))
+            if c + 1 < cols or cols > 2:
+                edges.append(_edge(sid(r, c), node, pe,
+                                   sid(r, (c + 1) % cols), node, pw))
+            if r + 1 < rows or rows > 2:
+                edges.append(_edge(sid(r, c), node, ps,
+                                   sid((r + 1) % rows, c), node, pn))
+    return ClusterTopology(rows * cols, edges, kind="torus2d",
+                           shape=(rows, cols), wrap=(True, True))
+
+
+def torus3d(x: int, y: int, z: int) -> ClusterTopology:
+    """x * y * z 3D torus (APEnet+-style direct network).
+
+    Six TCC ports are needed per supernode, more than one Opteron's four
+    HT links, so the port plan spans a 2-chip board: the x links live on
+    node 0 ports 0/1, the y links on node 1 ports 0/1, and the z links
+    split across chips (z- on node 0 port 2, z+ on node 1 port 2),
+    leaving port 3 of both chips for the coherent board interconnect.
+    Boards are headless (no southbridge port remains).
+    """
+    if min(x, y, z) < 2:
+        raise TopologyError("a 3D torus needs at least 2 supernodes per axis")
+    shape = (x, y, z)
+    # Per dimension: ((node, port) of the minus-side end,
+    #                 (node, port) of the plus-side end).
+    plan = (((0, 0), (0, 1)), ((1, 0), (1, 1)), ((0, 2), (1, 2)))
+
+    def sid(ix: int, iy: int, iz: int) -> int:
+        return (ix * y + iy) * z + iz
+
+    edges = []
+    for ix in range(x):
+        for iy in range(y):
+            for iz in range(z):
+                coords = (ix, iy, iz)
+                s = sid(ix, iy, iz)
+                for dim, size in enumerate(shape):
+                    c = coords[dim]
+                    if c + 1 < size or size > 2:
+                        nc = list(coords)
+                        nc[dim] = (c + 1) % size
+                        t = sid(*nc)
+                        (mn, mp), (pn, pp) = plan[dim]
+                        edges.append(_edge(s, pn, pp, t, mn, mp))
+    return ClusterTopology(x * y * z, edges, kind="torus3d", shape=shape,
+                           wrap=(True, True, True))
 
 
 def fully_connected(n: int, node: int = 0) -> ClusterTopology:

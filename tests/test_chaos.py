@@ -26,7 +26,7 @@ from repro.cluster import TCCluster
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.msglib import MsgConfig, TransportError
 from repro.obs.metrics import fault_counters
-from repro.topology import chain, ring
+from repro.topology import chain, mesh2d, ring, torus3d
 from repro.util.units import MiB
 
 TRANSIENT = (FaultKind.LINK_FLAP, FaultKind.CREDIT_STALL, FaultKind.BER_STORM)
@@ -61,13 +61,18 @@ class ChaosOutcome:
 
 
 def run_chaos(topo_factory, plan: FaultPlan,
-              n_msgs: int = N_MSGS) -> ChaosOutcome:
+              n_msgs: int = N_MSGS, endpoints=None) -> ChaosOutcome:
+    """``endpoints`` maps the booted cluster to the (tx, rx) ranks; the
+    default keeps the historical rank 0 -> rank 1 workload.  Grid tests
+    pass ``cl.rank_of(...)`` pairs so multi-chip boards (torus3d) and
+    corner-to-corner paths get exercised."""
     cfg = MsgConfig(send_deadline_ns=5e6, recv_deadline_ns=2e7,
                     retransmit_base_ns=100_000.0)
     cl = TCCluster(topo_factory(), msg_cfg=cfg, memory_bytes=64 * MiB).boot()
     FaultInjector(cl, plan).arm()
-    ep_a = cl.library(0).connect(1)
-    ep_b = cl.library(1).connect(0)
+    rank_a, rank_b = endpoints(cl) if endpoints is not None else (0, 1)
+    ep_a = cl.library(rank_a).connect(rank_b)
+    ep_b = cl.library(rank_b).connect(rank_a)
     out = ChaosOutcome()
 
     def tx(_proc=None):
@@ -188,6 +193,86 @@ def test_node_crash_then_rejoin():
     # The crash window is shorter than the send deadline: the workload
     # rides through on link-level NAK + warm retrain.
     assert len(out.delivered) == N_MSGS
+
+
+# ---------------------------------------------------------------------------
+# Grid topologies (mesh2d / torus3d) under multi-fault plans.
+# ---------------------------------------------------------------------------
+
+def _corner_ranks(last_supernode):
+    return lambda cl: (cl.rank_of(0), cl.rank_of(last_supernode))
+
+
+def test_chaos_mesh_double_kill_routes_around():
+    """mesh2d(3,3): kill edge 0 (supernodes 0-1) and edge 9 (5-8) under a
+    corner-to-corner workload.  The mesh stays connected, so route-around
+    must deliver everything with zero fatal broadcasts -- and the byte
+    conservation oracle catches any packet the reroute duplicated or ate.
+    """
+    plan = (FaultPlan()
+            .add(8_000.0, FaultKind.LINK_KILL, 0)
+            .add(16_000.0, FaultKind.LINK_KILL, 9))
+    out = run_chaos(lambda: mesh2d(3, 3), plan, endpoints=_corner_ranks(8))
+    check_oracles(out)
+    assert out.tx_error is None and out.rx_error is None
+    assert len(out.delivered) == N_MSGS
+    assert out.bytes_received == N_MSGS * MSG_BYTES
+    assert out.faults.get("reroutes", 0) >= 9  # every supernode, twice
+    assert out.faults.get("fatal_broadcasts", 0) == 0
+
+
+def test_chaos_torus3d_multi_fault_heals():
+    """torus3d(2,2,2) (two chips per board): a link kill plus a flap and
+    a BER storm while antipodal corners (3 hops) exchange the workload.
+    Degree-3 connectivity survives one kill, so delivery must be total.
+    """
+    plan = (FaultPlan()
+            .add(5_000.0, FaultKind.BER_STORM, 3,
+                 duration_ns=20_000.0, magnitude=1e-3)
+            .add(9_000.0, FaultKind.LINK_KILL, 0)
+            .add(14_000.0, FaultKind.LINK_FLAP, 7, duration_ns=9_000.0))
+    out = run_chaos(lambda: torus3d(2, 2, 2), plan, endpoints=_corner_ranks(7))
+    check_oracles(out)
+    assert out.tx_error is None and out.rx_error is None
+    assert len(out.delivered) == N_MSGS
+    assert out.bytes_received == N_MSGS * MSG_BYTES
+    assert out.faults.get("reroutes", 0) >= 8
+    assert out.faults.get("fatal_broadcasts", 0) == 0
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_chaos_grid_seeded_multi_fault(seed):
+    """Seeded destructive plans on both grid shapes.  Typed errors are
+    acceptable (a kill can sever the corner pair's only short paths
+    mid-flight); silent loss, duplication, or hangs are not."""
+    mesh = mesh2d(3, 3)
+    tor = torus3d(2, 2, 2)
+    for topo_factory, n_links, n_ranks, last in (
+            (lambda: mesh2d(3, 3), len(mesh.edges), 9, 8),
+            (lambda: torus3d(2, 2, 2), len(tor.edges), 16, 7)):
+        plan = FaultPlan.random(seed, horizon_ns=30_000.0,
+                                num_links=n_links, num_ranks=n_ranks,
+                                n_events=4,
+                                kinds=DESTRUCTIVE + (FaultKind.LINK_KILL,))
+        out = run_chaos(topo_factory, plan, endpoints=_corner_ranks(last))
+        check_oracles(out)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(12))
+def test_chaos_grid_sweep(seed):
+    """Wider seeded grid sweep for the nightly job (multi-kill plans)."""
+    mesh = mesh2d(3, 3)
+    tor = torus3d(2, 2, 2)
+    topo_factory, n_links, n_ranks, last = (
+        (lambda: mesh2d(3, 3), len(mesh.edges), 9, 8) if seed % 2 == 0
+        else (lambda: torus3d(2, 2, 2), len(tor.edges), 16, 7))
+    plan = FaultPlan.random(seed + 100, horizon_ns=40_000.0,
+                            num_links=n_links, num_ranks=n_ranks,
+                            n_events=6,
+                            kinds=DESTRUCTIVE + (FaultKind.LINK_KILL,))
+    out = run_chaos(topo_factory, plan, endpoints=_corner_ranks(last))
+    check_oracles(out)
 
 
 # ---------------------------------------------------------------------------

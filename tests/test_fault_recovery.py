@@ -18,9 +18,13 @@ from repro.ht import (
     VirtualChannel,
     make_posted_write,
 )
+from repro.cluster import build_single_board_prototype
 from repro.ht.packet import pool_for
 from repro.obs.metrics import fault_counters
 from repro.sim import Simulator
+from repro.util.units import MiB
+
+M256 = 256 * MiB
 
 
 def make_active_link(sim, **kw):
@@ -216,6 +220,66 @@ def test_warm_reset_skew_beyond_tolerance_fails_both_waiters():
     # Training never started, so the already-active link is untouched
     # (the failed handshake reports the error without taking it down).
     assert link.state == LinkState.ACTIVE
+
+
+# ---------------------------------------------------------------------------
+# Requester-side read retry: a coherent link death mid-read no longer
+# surfaces LinkDownError to the loading core.
+# ---------------------------------------------------------------------------
+
+def test_remote_read_survives_link_kill_before_request_leaves():
+    """The link dies before the read request serializes: the requester
+    parks on the up-gate (its SrcTag released) and re-issues once the
+    link reactivates, so the core's load completes with the right data."""
+    proto = build_single_board_prototype().boot()
+    sim = proto.sim
+    proto.node1.memory.write(0x400, b"SURVIVES")
+    got = {}
+
+    def scenario():
+        got["data"] = yield from proto.node0.cores[0].load(M256 + 0x400, 8)
+
+    proto.coherent_link.bring_down()
+    done = sim.process(scenario())
+    sim.schedule(5_000.0, proto.coherent_link.activate, "coherent")
+    sim.run_until_event(done)
+    assert got["data"] == b"SURVIVES"
+    assert proto.node0.nb.counters["remote_reads"] >= 1
+
+
+def test_remote_read_survives_link_kill_mid_flight():
+    """The kill lands while the request/response exchange is on the wire
+    (a few ns after issue): between link-level NAK redelivery and the
+    requester retry loop the read must still complete after retrain."""
+    proto = build_single_board_prototype().boot()
+    sim = proto.sim
+    proto.node1.memory.write(0x800, b"MIDFLGHT")
+    got = {}
+
+    def scenario():
+        got["data"] = yield from proto.node0.cores[0].load(M256 + 0x800, 8)
+
+    done = sim.process(scenario())
+    sim.schedule(8.0, proto.coherent_link.bring_down)
+    sim.schedule(4_000.0, proto.coherent_link.activate, "coherent")
+    sim.run_until_event(done)
+    assert got["data"] == b"MIDFLGHT"
+
+
+def test_remote_read_fails_typed_when_link_never_returns():
+    """The patience window bounds the retry: a permanently dead egress
+    still fails the load with LinkDownError instead of hanging."""
+    proto = build_single_board_prototype().boot()
+    sim = proto.sim
+    nb = proto.node0.nb
+    proto.coherent_link.bring_down()
+    proto.coherent_link.dead = True
+    t0 = sim.now
+    ev = nb.cpu_read(M256 + 0x100, 8)
+    sim.run(until=t0 + 10 * nb.link_down_wait_ns)
+    assert ev.triggered and not ev.ok
+    assert isinstance(ev.value, LinkDownError)
+    assert sim.now - t0 >= nb.link_down_wait_ns
 
 
 def test_bring_down_during_training_window_recovers_with_next_retrain():

@@ -11,12 +11,14 @@ from repro.topology import (
     TopologyError,
     assign_addresses,
     chain,
+    folded_mmio_bound,
     fully_connected,
     mesh2d,
     place_blades,
     plan_clock_tree,
     ring,
     torus2d,
+    torus3d,
     uniform_cluster,
 )
 from repro.topology.placement import COAX_LIMIT_MM, FR4_LIMIT_MM, PlacementConfig
@@ -60,6 +62,49 @@ def test_torus_structure():
     t = torus2d(3, 3)
     assert len(t.edges) == 2 * 9
     assert all(t.degree(i) == 4 for i in range(9))
+
+
+def test_torus3d_structure():
+    t = torus3d(4, 4, 4)
+    assert t.num_supernodes == 64
+    assert len(t.edges) == 3 * 64  # one +dim edge per supernode per dim
+    assert all(t.degree(i) == 6 for i in range(64))
+    assert t.is_connected()
+    assert t.diameter() == 6  # 2 per wrapped axis of size 4
+    # Row-major id <-> coordinate round trip.
+    assert t.coords_of(0) == (0, 0, 0)
+    assert t.supernode_at((3, 2, 1)) == 3 * 16 + 2 * 4 + 1
+    # The port plan splits the six directions across the two chips.
+    for s in range(64):
+        ports = sorted((ep.node, ep.port)
+                       for e in t.edges for ep in (e.a, e.b)
+                       if ep.supernode == s)
+        assert ports == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+
+def test_torus3d_size2_dims_single_edge():
+    """Wrapped size-2 axes have one physical link, not two parallel
+    ones; both direction signs of that axis resolve to it."""
+    t = torus3d(2, 2, 2)
+    assert len(t.edges) == 12  # 8 * 3 / 2
+    assert all(t.degree(i) == 3 for i in range(8))
+    assert t.diameter() == 3
+
+
+def test_torus3d_minimum_size():
+    with pytest.raises(TopologyError):
+        torus3d(1, 4, 4)
+
+
+def test_torus3d_mmio_pairs_within_folded_bound():
+    """Acceptance criterion: 64 supernodes route with O(degree + log N)
+    register pairs -- measured worst case is 9, the bound allows 12."""
+    t = torus3d(4, 4, 4)
+    amap = uniform_cluster(t, 16 * MiB, nodes_per_supernode=2)
+    counts = [len(amap.plan_for(s, 0).mmio) for s in range(64)]
+    assert max(counts) == 9
+    assert all(c <= folded_mmio_bound(t, s) for s, c in enumerate(counts))
+    assert folded_mmio_bound(t, 0) == 6 + 6  # degree + ceil(log2 63)
 
 
 def test_fully_connected_port_limit():
