@@ -26,6 +26,11 @@ model's accuracy.  Three scenarios:
   (``bytes_copied``, ``packets_alloc``/``packets_pooled``) and asserts
   the one-copy and O(1)-allocation invariants; gated on its
   deterministic event count.
+* ``read_chain``     -- 256 KiB of remote memory pulled as 4096
+  sequential coherent cacheline reads (the read-heavy counterpart of the
+  fig6 store sweeps), per-packet vs ``flow_fidelity`` ReadFlow macro
+  schedules; virtual time must match exactly and the macro event count
+  is gated.
 
 Emits ``BENCH_wallclock.json`` (repo root by default) with runtime,
 events executed, heap pushes, and events/sec per scenario, plus speedups
@@ -86,6 +91,18 @@ MESH_TRANSFER = 512 * KiB
 
 #: Bytes the datapath-churn scenario streams per-packet (16384 lines).
 DATAPATH_TRANSFER = 1 * MiB
+
+#: torus-ring scenario: messages per rank, payload bytes per message
+#: (128 ring slots -- a full feedback window), and the modelled compute
+#: phase between halo exchanges.
+TORUS_RING_MSGS = 8
+TORUS_RING_MSG_BYTES = 7168
+TORUS_RING_COMPUTE_NS = 200.0
+TORUS_RING_SEED = 0xC0FFEE
+
+#: Bytes the read-chain scenario pulls over the coherent fabric link
+#: (4096 cachelines -> 4096 remote read/response round trips).
+READ_CHAIN_BYTES = 256 * KiB
 
 
 def bench_canonical():
@@ -237,6 +254,8 @@ def bench_datapath_churn():
         f"{delta['packets_alloc']}+{delta['packets_pooled']} != {lines}"
     )
 
+    from repro.obs.metrics import flow_counters
+
     return {
         "runtime_s": round(wall, 4),
         "transfer_bytes": size,
@@ -250,6 +269,10 @@ def bench_datapath_churn():
         "packets_alloc": delta["packets_alloc"],
         "packets_pooled": delta["packets_pooled"],
         "packets_recycled": delta["packets_recycled"],
+        # Macro-event telemetry: this scenario forces the per-packet
+        # plane, so every counter here must stay zero.
+        "train": _train_counters(cl, [0]),
+        "flow": flow_counters(sim).as_dict(),
     }
 
 
@@ -282,33 +305,38 @@ def bench_fig6_full_sweep(jobs):
 
     Both passes go through the same per-point machinery (a fresh booted
     prototype per point, largest transfers scheduled first) so the ratio
-    isolates the pool, not a workload difference.  On a runner whose CPU
-    affinity allows only one core (or with ``--jobs 1``) the comparison
-    would measure pool overhead, not scale-out, so it is skipped with an
-    explicit marker instead of reporting a misleading ~1x "speedup".
+    isolates the pool, not a workload difference.  The serial pass and
+    its throughput are always recorded; on a runner whose CPU affinity
+    allows only one core (or with ``--jobs 1``) only the serial-vs-pool
+    *comparison* is skipped -- a wall-clock ratio there would measure
+    pool overhead, not scale-out, and report a misleading ~1x "speedup".
     """
     from repro.bench.microbench import DEFAULT_BW_SIZES
     from repro.bench.sweep_points import run_bandwidth_sweep_parallel
     from repro.sim.parallel import usable_cpus
 
     usable = usable_cpus()
-    if usable <= 1 or jobs <= 1:
-        return {
-            "skipped_parallel_compare": True,
-            "usable_cpus": usable,
-            "jobs": jobs,
-            "reason": (
-                "only one usable CPU: a serial-vs-pool wall-clock ratio "
-                "would measure pool overhead, not scale-out"
-                if usable <= 1 else
-                "jobs <= 1: nothing to compare against the serial pass"
-            ),
-        }
-
     sizes = tuple(DEFAULT_BW_SIZES)
     t0 = time.perf_counter()
     serial = run_bandwidth_sweep_parallel(sizes=sizes, jobs=1)
     serial_wall = time.perf_counter() - t0
+    out = {
+        "points": len(serial),
+        "jobs": jobs,
+        "usable_cpus": usable,
+        "serial_runtime_s": round(serial_wall, 4),
+        "serial_points_per_s": round(len(serial) / serial_wall, 2),
+    }
+
+    if usable <= 1 or jobs <= 1:
+        out["skipped_parallel_compare"] = True
+        out["reason"] = (
+            "only one usable CPU: a serial-vs-pool wall-clock ratio "
+            "would measure pool overhead, not scale-out"
+            if usable <= 1 else
+            "jobs <= 1: nothing to compare against the serial pass"
+        )
+        return out
 
     t0 = time.perf_counter()
     parallel = run_bandwidth_sweep_parallel(sizes=sizes, jobs=jobs)
@@ -317,14 +345,8 @@ def bench_fig6_full_sweep(jobs):
     assert [(p.size, p.mode, p.mbps) for p in serial] == \
         [(p.size, p.mode, p.mbps) for p in parallel], \
         "parallel sweep diverged from serial results"
-    out = {
-        "points": len(serial),
-        "jobs": jobs,
-        "usable_cpus": usable,
-        "serial_runtime_s": round(serial_wall, 4),
-        "parallel_runtime_s": round(parallel_wall, 4),
-        "speedup_x": round(serial_wall / parallel_wall, 2),
-    }
+    out["parallel_runtime_s"] = round(parallel_wall, 4)
+    out["speedup_x"] = round(serial_wall / parallel_wall, 2)
     if usable < min(jobs, len(serial)):
         out["note"] = (
             f"pool speedup is bounded by usable CPUs ({usable}); the "
@@ -365,14 +387,17 @@ def _run_mesh(adaptive: bool):
         got = cl.ranks[b].chip.memctrl.memory.read(window_off, len(data))
         assert got == data, f"mesh transfer {a}->{b} corrupted"
 
-    trains = sum(cl.ranks[a].chip.nb.counters.get("train_windows")
-                 for a, _ in pairs)
+    from repro.obs.metrics import flow_counters
+
+    trains = _train_counters(cl, [a for a, _ in pairs])
     return {
         "runtime_s": round(wall, 4),
         "events": sim.event_count - e0,
         "heap_pushes": sim.heap_pushes - p0,
         "virtual_ns": round(sim.now, 1),
-        "train_windows": trains,
+        "train_windows": trains["windows"],
+        "train": trains,
+        "flow": flow_counters(sim).as_dict(),
     }
 
 
@@ -392,6 +417,208 @@ def bench_mesh_4x4():
         "adaptive": adaptive,
         "speedup_x": round(per_packet["runtime_s"] / adaptive["runtime_s"], 2),
         "events_x": round(per_packet["events"] / adaptive["events"], 2),
+    }
+
+
+def _run_torus_ring(fidelity: bool):
+    """One pass of the 64-node msglib ring exchange.
+
+    ``fidelity`` toggles *both* macro-event layers together
+    (``adaptive_fidelity`` store trains and the flow-level
+    ``flow_fidelity`` slot coalescing): the per-packet baseline runs with
+    every fast path off, the macro run with every fast path on, and the
+    two must agree on virtual time exactly.
+    """
+    import random
+
+    from repro.msglib import MsgConfig
+    from repro.obs.metrics import flow_counters
+    from repro.topology import torus3d
+
+    sys_ = TCClusterSystem(
+        torus3d(4, 4, 4),
+        msg_cfg=MsgConfig(
+            ring_bytes=16 * KiB,       # 256 slots: two messages in flight
+            eager_max=TORUS_RING_MSG_BYTES,
+            fb_interval_slots=128,     # one feedback line per message
+            read_chunk=4 * KiB,
+            heap_bytes=64 * KiB,
+        ),
+    )
+    sys_.sim.features.adaptive_fidelity = fidelity
+    sys_.sim.features.flow_fidelity = fidelity
+    sys_.boot()
+    cl = sys_.cluster
+    sim = sys_.sim
+    topo = cl.topology
+    n = topo.num_supernodes
+
+    # Directed +x ring links: rank r streams to its +x neighbour and
+    # receives from its -x neighbour, so every link direction carries
+    # exactly one flow (data one way, feedback lines the other).
+    succ = []
+    for s in range(n):
+        c = list(topo.coords_of(s))
+        c[0] = (c[0] + 1) % 4
+        succ.append(cl.rank_of(topo.supernode_at(tuple(c))))
+    ranks = [cl.rank_of(s) for s in range(n)]
+    eps = {r: sys_.connect(r, succ[i]) for i, r in enumerate(ranks)}
+    rx_of = {succ[i]: eps[r][1] for i, r in enumerate(ranks)}
+
+    rng = random.Random(TORUS_RING_SEED)
+    payloads = {
+        r: [rng.randbytes(TORUS_RING_MSG_BYTES) for _ in range(TORUS_RING_MSGS)]
+        for r in ranks
+    }
+    got = {r: [] for r in ranks}
+
+    def worker(r):
+        tx = eps[r][0]
+        rx = rx_of[r]
+        for m in payloads[r]:
+            yield from tx.send(m)
+            got[r].append((yield from rx.recv()))
+            yield TORUS_RING_COMPUTE_NS  # the stencil compute phase
+        yield from tx.flush()
+
+    e0, p0 = sim.event_count, sim.heap_pushes
+    t0 = time.perf_counter()
+    procs = [sim.process(worker(r)) for r in ranks]
+    sim.run_until_event(sim.all_of(procs))
+    sim.run()
+    wall = time.perf_counter() - t0
+
+    # Model sanity: every rank received its -x neighbour's messages.
+    pred = {succ[i]: r for i, r in enumerate(ranks)}
+    for r in ranks:
+        assert got[r] == payloads[pred[r]], f"ring exchange corrupted at {r}"
+
+    fl = flow_counters(sim)
+    slots_total = n * TORUS_RING_MSGS * (TORUS_RING_MSG_BYTES // 56)
+    return {
+        "runtime_s": round(wall, 4),
+        "events": sim.event_count - e0,
+        "heap_pushes": sim.heap_pushes - p0,
+        "virtual_ns": round(sim.now, 1),
+        "train": _train_counters(cl, ranks),
+        "flow": fl.as_dict(),
+        "slot_span_rate": round(fl.slot_slots / slots_total, 4),
+    }
+
+
+def _train_counters(cl, ranks):
+    """Macro-event hit counters summed over the given ranks' NBs."""
+    out = {"windows": 0, "lines": 0, "demotions": 0}
+    for r in ranks:
+        c = cl.ranks[r].chip.nb.counters
+        out["windows"] += c.get("train_windows")
+        out["lines"] += c.get("train_lines")
+        out["demotions"] += c.get("train_demotions")
+    return out
+
+
+def bench_torus_ring():
+    """The flow-level fidelity scenario: a 64-node torus msglib ring.
+
+    Every supernode of a torus3d(4,4,4) runs send-to-+x / recv-from--x /
+    compute iterations (a 1-D halo shift), eight 7168-byte messages per
+    rank -- 128 ring slots each, the classic TCCluster eager pattern.
+    With fidelity on, the slot writes of each message coalesce into one
+    contiguous span (``flow_fidelity``) which rides the bulk-train
+    schedule (``adaptive_fidelity``); per-packet mode simulates every
+    slot's store, wire and commit individually.  Virtual time must match
+    exactly; the wall-clock ratio is the flow-level fidelity win.
+    """
+    per_packet = _run_torus_ring(fidelity=False)
+    macro = _run_torus_ring(fidelity=True)
+    assert per_packet["virtual_ns"] == macro["virtual_ns"], (
+        "flow fidelity changed torus-ring virtual time: "
+        f"{per_packet['virtual_ns']} vs {macro['virtual_ns']}"
+    )
+    assert per_packet["train"]["windows"] == 0
+    assert per_packet["flow"]["slot_windows"] == 0
+    assert macro["flow"]["slot_windows"] >= 64 * TORUS_RING_MSGS // 2, \
+        "slot spans never engaged"
+    assert macro["train"]["windows"] >= 64, "span trains never engaged"
+    return {
+        "supernodes": 64,
+        "msgs_per_rank": TORUS_RING_MSGS,
+        "msg_bytes": TORUS_RING_MSG_BYTES,
+        "per_packet": per_packet,
+        "macro": macro,
+        "speedup_x": round(per_packet["runtime_s"] / macro["runtime_s"], 2),
+        "events_x": round(per_packet["events"] / macro["events"], 2),
+    }
+
+
+def _run_read_chain(fidelity: bool):
+    """One pass of the remote-read chain on the single-board prototype.
+
+    node0's core pulls ``READ_CHAIN_BYTES`` of node1's DRAM through the
+    coherent fabric link -- 4096 sequential cacheline read/response round
+    trips, the read-heavy counterpart of the fig6 store sweeps.  With
+    ``flow_fidelity`` on, each read promotes to a :class:`ReadFlow`
+    macro schedule (request, remote issue, response and completion as
+    three calendar entries plus the DRAM commit); per-packet mode walks
+    every request and response through queue, pump, wire and crossbar.
+    """
+    from repro.cluster import build_single_board_prototype
+    from repro.obs.metrics import flow_counters
+
+    proto = build_single_board_prototype()
+    sim = proto.sim
+    sim.features.adaptive_fidelity = fidelity
+    sim.features.flow_fidelity = fidelity
+    proto.boot()
+    node0, node1 = proto.node0, proto.node1
+    data = bytes(range(256)) * (READ_CHAIN_BYTES // 256)
+    node1.memory.write(0x40000, data)
+    addr = 256 * MiB + 0x40000
+
+    got = {}
+
+    def reader():
+        got["data"] = yield from node0.cores[0].load(addr, READ_CHAIN_BYTES)
+
+    e0, p0 = sim.event_count, sim.heap_pushes
+    t0 = time.perf_counter()
+    sim.run_until_event(sim.process(reader()))
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert got["data"] == data, "read chain returned corrupted data"
+
+    fl = flow_counters(sim)
+    return {
+        "runtime_s": round(wall, 4),
+        "events": sim.event_count - e0,
+        "heap_pushes": sim.heap_pushes - p0,
+        "virtual_ns": round(sim.now, 1),
+        "remote_reads": node0.nb.counters.get("remote_reads"),
+        "flow": fl.as_dict(),
+    }
+
+
+def bench_read_chain():
+    """Flow-level fidelity on the read/response path: per-packet vs
+    ReadFlow macro schedules, virtual time bit-identical."""
+    per_packet = _run_read_chain(fidelity=False)
+    macro = _run_read_chain(fidelity=True)
+    assert per_packet["virtual_ns"] == macro["virtual_ns"], (
+        "read flow changed virtual time: "
+        f"{per_packet['virtual_ns']} vs {macro['virtual_ns']}"
+    )
+    nreads = READ_CHAIN_BYTES // 64
+    assert per_packet["remote_reads"] == nreads
+    assert per_packet["flow"]["read_reads"] == 0
+    assert macro["flow"]["read_reads"] == nreads, "read flow never engaged"
+    assert macro["flow"]["read_demotions"] == 0
+    return {
+        "transfer_bytes": READ_CHAIN_BYTES,
+        "reads": nreads,
+        "per_packet": per_packet,
+        "macro": macro,
+        "speedup_x": round(per_packet["runtime_s"] / macro["runtime_s"], 2),
+        "events_x": round(per_packet["events"] / macro["events"], 2),
     }
 
 
@@ -433,6 +660,8 @@ def main(argv=None) -> int:
         "mesh_4x4": bench_mesh_4x4(),
         "datapath_churn": bench_datapath_churn(),
         "torus64": bench_torus64(),
+        "torus_ring": bench_torus_ring(),
+        "read_chain": bench_read_chain(),
     }
 
     seed = SEED_BASELINE
@@ -452,6 +681,8 @@ def main(argv=None) -> int:
         "fig6_sweep_parallel_x": scenarios["fig6_full_sweep"].get(
             "speedup_x", "skipped"),
         "mesh_adaptive_fidelity_x": scenarios["mesh_4x4"]["speedup_x"],
+        "torus_ring_flow_fidelity_x": scenarios["torus_ring"]["speedup_x"],
+        "read_chain_flow_fidelity_x": scenarios["read_chain"]["speedup_x"],
     }
 
     report = {
@@ -484,6 +715,12 @@ def main(argv=None) -> int:
             ("torus64_events_max",
              scenarios["torus64"]["events"],
              "torus3d(4,4,4) halo scenario"),
+            ("torus_ring_events_max",
+             scenarios["torus_ring"]["macro"]["events"],
+             "torus-ring flow-fidelity scenario"),
+            ("read_chain_events_max",
+             scenarios["read_chain"]["macro"]["events"],
+             "read-chain flow-fidelity scenario"),
         ]
         failed = False
         for key, got, label in gates:

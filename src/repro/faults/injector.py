@@ -129,6 +129,11 @@ class FaultInjector:
         """Drain every flow-control credit of the link (both directions,
         all VCs); the receiver looks wedged until the credits return."""
         link = self._link_of(ev)
+        # Macro-event fast paths (trains, flows) plan against full credit
+        # pools; demote them *before* the theft so their reconstruction
+        # sees the pre-fault state -- stealing out from under a promoted
+        # schedule would silently break its exactness contract.
+        link._abort_trains()
         stolen = []
         for d in link._dirs.values():
             for vc, pool in d.credits.items():

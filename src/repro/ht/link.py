@@ -138,6 +138,11 @@ class _Direction:
         #: Active aggregate-fidelity packet train owning this direction
         #: (repro.opteron.train); foreign sends demote it first.
         self._train = None
+        #: Active flow-level macro flow owning this direction
+        #: (repro.sim.flows); same demote-on-foreign-interaction contract
+        #: as trains.  Flows with ``absorbs`` set additionally intercept
+        #: deliveries on their in-direction (multi-hop forwarding).
+        self._flow = None
         #: Burst-window deliveries pushed into the calendar but not yet
         #: past their serialization end: (cancel_seq, ser_end, pkt, vc).
         #: Pruned lazily; consulted by bring_down() to NAK packets that
@@ -361,6 +366,14 @@ class _Direction:
 
     def _deliver(self, pkt: Packet, vc: VirtualChannel) -> None:
         link = self.link
+        f = self._flow
+        if f is not None and f.absorbs and f.d_in is self:
+            # A forwarding flow absorbs matching packets at the delivery
+            # point; a surprise packet demotes it first (abort reproduces
+            # the rx loop's residual busy window) and then takes the
+            # ordinary path below.
+            if f.offer(pkt):
+                return
         if link.tracer.enabled:
             # Keep the deferred wake so the rx trace record lands before
             # any receiver reaction at the same timestamp.
@@ -459,6 +472,13 @@ class Link:
         d = self._dirs[side]
         if d._train is not None:
             d._train.abort(self.sim._now)
+        f = d._flow
+        if f is not None and not (f.absorbs and f.d_in is d):
+            # A foreign send invalidates a planned TX schedule -- but an
+            # absorbing flow's in-direction transmits per-packet (the
+            # sender upstream is exactly who feeds the flow), so sends
+            # into it are expected traffic, filtered at delivery instead.
+            f.abort(self.sim._now)
         return d.txq[pkt.vc].put(pkt)
 
     def try_send(self, side: str, pkt: Packet) -> bool:
@@ -467,6 +487,9 @@ class Link:
         d = self._dirs[side]
         if d._train is not None:
             d._train.abort(self.sim._now)
+        f = d._flow
+        if f is not None and not (f.absorbs and f.d_in is d):
+            f.abort(self.sim._now)
         return d.txq[pkt.vc].try_put(pkt)
 
     def receive(self, side: str) -> Event:
@@ -573,11 +596,14 @@ class Link:
             self._abort_trains()
 
     def _abort_trains(self) -> None:
-        """Demote any aggregate-fidelity train before a link-level change
-        (rate, state, error injection) invalidates its schedule."""
+        """Demote any aggregate-fidelity train or macro flow before a
+        link-level change (rate, state, error injection) invalidates its
+        schedule."""
         for d in self._dirs.values():
             if d._train is not None:
                 d._train.abort(self.sim._now)
+            if d._flow is not None:
+                d._flow.abort(self.sim._now)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -30,7 +30,8 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from ..ht.link import LinkDownError
-from ..obs.metrics import fault_counters, metrics_for
+from ..obs.metrics import fault_counters, flow_counters, metrics_for
+from ..sim.flows import plan_eager_span
 from ..util.units import CACHELINE
 from .config import RENDEZVOUS_MARKER, SLOT_BYTES, SLOT_PAYLOAD
 from .slots import (
@@ -229,7 +230,46 @@ class Endpoint:
     def _send_eager(self, data: bytes, mode: str):
         remaining = len(data)
         pos = 0
+        # Flow-level fidelity (DESIGN.md section 12): coalesce a run of
+        # ring slots into one contiguous multi-line store so it can ride
+        # the bulk-train fast path.  Virtual-time neutral: the per-slot
+        # path below issues the same back-to-back line stores with zero
+        # virtual time between the calls.  Gated off under metrics --
+        # the per-slot ring-occupancy samples carry per-slot timestamps
+        # that coalescing would collapse onto one instant.
+        spans = (mode == "weak" and not self._m.enabled
+                 and self.sim.features.flow_fidelity)
         while remaining > 0:
+            if spans and remaining > SLOT_PAYLOAD:
+                # Refresh the window first when it is exhausted -- the
+                # same stall the per-slot path would take below -- so the
+                # whole run is planned against the replenished window
+                # instead of dribbling its first slot out individually.
+                if self._free_tx_slots() == 0:
+                    yield from self._wait_tx_slots(1)
+                planned = plan_eager_span(
+                    self.send_seq + 1, self.cfg.nslots, self._free_tx_slots(),
+                    data, pos, remaining, pack_slot, SLOT_PAYLOAD)
+                if planned is not None:
+                    n, span, chunk_lens = planned
+                    fl = flow_counters(self.sim)
+                    fl.slot_windows += 1
+                    fl.slot_slots += n
+                    seq0 = self.send_seq + 1
+                    addr0 = self._slot_tx_addr(seq0)
+                    yield from self.proc.store(addr0, span)
+                    if self._send_deadline is not None:
+                        for i in range(n):
+                            self._unacked.append(
+                                (seq0 + i, addr0 + i * SLOT_BYTES,
+                                 span[i * SLOT_BYTES:(i + 1) * SLOT_BYTES],
+                                 None, None))
+                    self.send_seq = seq0 + n - 1
+                    self._note_occupancy()
+                    sent = sum(chunk_lens)
+                    pos += sent
+                    remaining -= sent
+                    continue
             yield from self._wait_tx_slots(1)
             seq = self.send_seq + 1
             chunk = data[pos : pos + SLOT_PAYLOAD]
@@ -600,7 +640,7 @@ class Endpoint:
         """Zero-time ring-slot sample used by a quantized park wake (the
         matching virtual load's port occupancy already elapsed)."""
         chip = self.proc.core.chip
-        return chip.memory.read(chip.nb._local_offset(addr), SLOT_BYTES)
+        return chip.memctrl.sample(chip.nb._local_offset(addr), SLOT_BYTES)
 
     def _recv_multislot(self, first_raw: bytes, length: int,
                         deadline: Optional[float] = None):

@@ -44,6 +44,8 @@ __all__ = [
     "datapath_counters",
     "FaultCounters",
     "fault_counters",
+    "FlowCounters",
+    "flow_counters",
 ]
 
 
@@ -295,6 +297,50 @@ def fault_counters(sim) -> "FaultCounters":
         fc = FaultCounters()
         sim._fault_counters = fc
     return fc
+
+
+class FlowCounters:
+    """Always-on macro-event (adaptive fidelity) counter family.
+
+    Covers both the WC store trains (:mod:`repro.opteron.train`) and the
+    flow-level layer (:mod:`repro.sim.flows`).  Like
+    :class:`FaultCounters` these are plain attributes bumped directly by
+    the fast paths -- one increment per *window*, not per packet -- and
+    are not part of the golden distilled metrics: they describe how much
+    of the workload rode a fast path (the macro-event hit rate published
+    per scenario by ``benchmarks/bench_wallclock.py``), not the model.
+    """
+
+    __slots__ = (
+        "slot_windows",
+        "slot_slots",
+        "read_windows",
+        "read_reads",
+        "read_demotions",
+        "forward_windows",
+        "forward_packets",
+        "forward_demotions",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        hot = {k: v for k, v in self.as_dict().items() if v}
+        return f"<FlowCounters {hot or 'idle'}>"
+
+
+def flow_counters(sim) -> "FlowCounters":
+    """The (lazily created) macro-event counters of one simulator."""
+    fl = getattr(sim, "_flow_counters", None)
+    if fl is None:
+        fl = FlowCounters()
+        sim._flow_counters = fl
+    return fl
 
 
 def datapath_counters(sim, memories=()) -> Dict[str, int]:

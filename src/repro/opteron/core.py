@@ -169,7 +169,7 @@ class CpuCore:
             if not caches.write_line_if_present(line, offset, chunk):
                 # Write-allocate: compose the full line from memory.
                 base_off = self.chip.nb._local_offset(line)
-                current = bytearray(self.chip.memory.read(base_off, CACHELINE))
+                current = bytearray(self.chip.memctrl.sample(base_off, CACHELINE))
                 current[offset : offset + n] = chunk
                 caches.fill_line(line, bytes(current))
             pos += n

@@ -173,6 +173,12 @@ class MemoryController:
         #: (lo, hi, doorbell) ranges rung when a write commits inside them
         #: (the poll-parking notification hook; see msglib.endpoint).
         self._watches: List[Tuple[int, int, Doorbell]] = []
+        #: Active arithmetic commit spans (flow-level fidelity; see
+        #: :class:`repro.sim.flows.CommitSpan`).  Every foreign port
+        #: claim folds in the span arrivals due by now first, so FCFS
+        #: ordering against span traffic is exact; content and write
+        #: accounting flush lazily at observation points.
+        self._spans: List = []
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
@@ -194,16 +200,57 @@ class MemoryController:
         if hi <= lo:
             raise ValueError(f"empty watch range [{lo:#x}, {hi:#x})")
         self._watches.append((lo, hi, doorbell))
+        if self._spans:
+            now = self.sim._now
+            for s in list(self._spans):
+                s.add_watch(lo, hi, doorbell, now)
 
     def unwatch(self, doorbell: Doorbell) -> None:
         self._watches = [w for w in self._watches if w[2] is not doorbell]
+        for s in list(self._spans):
+            s.remove_watch(doorbell)
 
     def _claim_port(self, nbytes: int) -> float:
         """Reserve the command port FCFS; returns the transfer-end time."""
         now = self.sim._now
+        if self._spans:
+            self._sync_spans(now)
         start = self._busy_until if self._busy_until > now else now
         self._busy_until = end = start + self._occupancy_ns(nbytes)
         return end
+
+    # -- commit-span support (flow-level fidelity) -------------------------
+    def _sync_spans(self, now: float) -> None:
+        """Apply all span arrivals due by ``now`` in global time order."""
+        spans = self._spans
+        if len(spans) == 1:
+            spans[0].sync_to(now)
+            return
+        while True:
+            best = None
+            ba = now
+            for s in spans:
+                a = s.next_arrival()
+                if a <= ba:
+                    best, ba = s, a
+            if best is None:
+                return
+            best.apply_one()
+
+    def flush_spans(self, now: float) -> None:
+        """Make span DRAM content and write accounting real up to ``now``
+        (called before any content observation)."""
+        if not self._spans:
+            return
+        self._sync_spans(now)
+        for s in list(self._spans):
+            s.flush_until(now)
+
+    def sample(self, offset: int, length: int) -> bytes:
+        """Zero-time DRAM sample with span content made real first (the
+        quantized park-wake read path; see msglib.endpoint)."""
+        self.flush_spans(self.sim._now)
+        return self.memory.read(offset, length)
 
     def write(self, offset: int, data, mask: Optional[bytes] = None) -> Event:
         """Timed write; the returned event fires when the data is in DRAM.
@@ -235,6 +282,8 @@ class MemoryController:
 
     def _commit_write(self, offset: int, data, mask: Optional[bytes],
                       done: Optional[Event]) -> None:
+        if self._spans:
+            self.flush_spans(self.sim._now)
         if mask is None:
             self.memory.write_span(offset, data)
         else:
@@ -265,6 +314,8 @@ class MemoryController:
         return done
 
     def _commit_read(self, offset: int, length: int, done: Event) -> None:
+        if self._spans:
+            self.flush_spans(self.sim._now)
         data = self.memory.read(offset, length)
         self.reads += 1
         self.bytes_read += length

@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 from ..ht.link import Link, LinkDownError, LinkSide, LinkState
 from ..ht.packet import Command, Packet, make_read, make_read_response, make_target_done, pool_for
 from ..ht.tags import ResponseMatchingTable, UnroutableResponseError
-from ..obs.metrics import fault_counters, metrics_for
+from ..obs.metrics import fault_counters, flow_counters, metrics_for
 from ..sim import AnyOf, Counter, Event, Simulator, Store
 from ..util.calibration import TimingModel
 from . import registers as regs_mod
@@ -137,6 +137,11 @@ class Northbridge:
         #: Active aggregate-fidelity packet train (repro.opteron.train);
         #: any foreign submit while one is running demotes it first.
         self._train = None
+        #: Egress port of the current promoted remote-read run (window
+        #: accounting for :class:`repro.sim.flows.ReadFlow`): consecutive
+        #: same-port promotions count as one window, a demotion or a port
+        #: change starts a new one.
+        self._read_flow_port: Optional[int] = None
         # Register-decode caches: the fabric data path hits nodeid / DRAM
         # readiness / local-offset translation on every packet, and
         # re-decoding BKDG bitfields per packet dominates profiles.  Any
@@ -474,6 +479,19 @@ class Northbridge:
         tag = self.tags.allocate(dst_node, context=response)
         pkt = make_read(addr, length // 4, srctag=tag, unitid=self.nodeid, coherent=True)
         port = self._fabric_port_for(dst_node)
+        if self.sim.features.flow_fidelity:
+            from ..sim.flows import ReadFlow
+
+            flow = ReadFlow.plan(self, port, pkt, addr, length, response)
+            if flow is not None:
+                fl = flow_counters(self.sim)
+                if self._read_flow_port != port:
+                    self._read_flow_port = port
+                    fl.read_windows += 1
+                fl.read_reads += 1
+                data = yield response
+                self.counters.inc("remote_reads")
+                return data
         try:
             yield self._send_on_port(port, pkt)
         except LinkDownError:
@@ -730,6 +748,7 @@ class Northbridge:
                     yield from self._local_access(pkt, port)
             elif r.kind in (RouteKind.MMIO_LOCAL_LINK, RouteKind.MMIO_REMOTE,
                             RouteKind.DRAM_REMOTE):
+                coh0 = pkt.coherent
                 if r.kind is RouteKind.MMIO_LOCAL_LINK:
                     out_port = r.dst_link
                     if pkt.coherent:
@@ -743,6 +762,24 @@ class Northbridge:
                 if out_port == port:
                     counters_inc("routing_loops")
                     continue
+                if (self.sim.features.flow_fidelity
+                        and pkt.cmd is Command.WRITE_POSTED
+                        and pkt.mask is None
+                        and not (coh0
+                                 and r.kind is RouteKind.MMIO_LOCAL_LINK)):
+                    # Multi-hop forwarding fast path: promote while the
+                    # out direction is still quiescent; the flow absorbs
+                    # this packet and the rest of the run at the delivery
+                    # point.
+                    from ..sim.flows import ForwardFlow
+
+                    d_in = link._dirs[LinkSide.other(side)]
+                    b_out = self.chip.ports.get(out_port)
+                    if (b_out is not None
+                            and ForwardFlow.eligible(self, d_in, b_out, pkt)):
+                        ForwardFlow(self, d_in, b_out, out_port, pkt)
+                        counters_inc("forwarded")
+                        continue
                 try:
                     ev = self._send_on_port_fast(out_port, pkt)
                 except LinkDownError:

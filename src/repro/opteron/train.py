@@ -58,6 +58,7 @@ from typing import TYPE_CHECKING, List, Optional
 from ..ht.link import LinkDownError, LinkState
 from ..ht.packet import VirtualChannel, make_posted_write
 from ..sim import Event, Interrupt
+from ..sim.flows import CommitSpan
 from ..util.units import CACHELINE
 from .northbridge import RouteKind
 
@@ -131,7 +132,7 @@ def plan_train(core: "CpuCore", addr: int, data: bytes) -> Optional["BulkTrain"]
     if link.state != LinkState.ACTIVE or link.ber > 0 or link.tracer.enabled:
         return None
     d = link._dirs[side]
-    if d._train is not None:
+    if d._train is not None or d._flow is not None:
         return None
     # Direction quiescence: all VC TX queues empty with their pumps
     # parked, serializer idle with no waiters, POSTED credits full.
@@ -389,8 +390,19 @@ class BulkTrain:
         # a guarded no-op would still drag the clock out to t_final when
         # an interrupt makes the calendar drain early.
         self._chain_idx = 0
-        self._chain_seq = sim._push_cancellable(
-            self.ss[0] + self._mcw_off, self._commit, (0,))
+        self._chain_seq = None
+        self._span = None
+        if sim.features.flow_fidelity and not self.dest_mc.tracer.enabled:
+            # Flow-level fidelity: the whole destination commit schedule
+            # becomes one arithmetic span on the controller instead of
+            # two calendar entries per line (see repro.sim.flows).
+            off = self._mcw_off
+            self._span = CommitSpan(
+                sim, self.dest_mc, self.dest_nb, self._offs, self._mv,
+                [s + off for s in self.ss], CACHELINE)
+        else:
+            self._chain_seq = sim._push_cancellable(
+                self.ss[0] + self._mcw_off, self._commit, (0,))
         self._complete_seq = sim._push_cancellable(
             self.t_end, self._complete, None)
         self._finalize_seq = sim._push_cancellable(
@@ -479,6 +491,16 @@ class BulkTrain:
         if self._chain_seq is not None and self._chain_idx >= nser:
             sim._cancel(self._chain_seq)
             self._chain_seq = None
+        if self._span is not None:
+            # Flow-level commit span: flushed commits stay, in-flight ones
+            # become real calendar entries, and the not-yet-arrived tail
+            # (strictly before the cut) re-arms the classic per-line chain.
+            j0 = self._span.abort(T)
+            self._span = None
+            if j0 < nser:
+                self._chain_idx = j0
+                self._chain_seq = sim._push_cancellable(
+                    ss[j0] + self._mcw_off, self._commit, (j0,))
         self._apply_effects(T, False)
         self.abort_time = T
         self.resume_fills = f

@@ -37,6 +37,7 @@ from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 __all__ = [
     "Simulator",
     "SimFeatures",
+    "MacroEntry",
     "Event",
     "Timeout",
     "Process",
@@ -69,6 +70,12 @@ class SimFeatures:
     #: demoting back to per-packet mode the instant anything else touches
     #: the involved queues (see repro.opteron.train).
     adaptive_fidelity: bool = True
+    #: Flow-level macro events for the remaining traffic classes: msglib
+    #: ring slot writes, same-route remote read/response chains and
+    #: multi-hop forwarding (see repro.sim.flows).  Default off -- the
+    #: flag only changes wall-clock cost, never virtual time, but keeping
+    #: it opt-in pins every recorded event-count gate bit-identical.
+    flow_fidelity: bool = False
 
 
 class SimulationError(RuntimeError):
@@ -531,6 +538,44 @@ class Process(Event):
                 target.sim._schedule_event(target)
             return
         self._wait_for(target)
+
+
+class MacroEntry:
+    """One speculative cancellable calendar entry (macro-event machinery).
+
+    Adaptive-fidelity layers (:mod:`repro.opteron.train`,
+    :mod:`repro.sim.flows`) precompute a future and walk it with a single
+    live calendar entry at a time; a demotion revokes whatever part of
+    that future did not happen yet.  This wraps the
+    :meth:`Simulator._push_cancellable` / :meth:`Simulator._cancel` pair
+    so the arm/fire/cancel bookkeeping (never cancel a fired entry, never
+    double-arm) lives in one place instead of ad-hoc ``_seq`` fields.
+    """
+
+    __slots__ = ("sim", "_seq")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._seq: Optional[int] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._seq is not None
+
+    def arm(self, at: float, fn: Callable, args: Optional[tuple]) -> None:
+        """Push the entry; the callback MUST call :meth:`fired` first."""
+        assert self._seq is None, "macro entry armed twice"
+        self._seq = self.sim._push_cancellable(at, fn, args)
+
+    def fired(self) -> None:
+        """Mark the entry as executed (call at the top of the callback)."""
+        self._seq = None
+
+    def cancel(self) -> None:
+        """Revoke the entry if still pending; safe to call when idle."""
+        if self._seq is not None:
+            self.sim._cancel(self._seq)
+            self._seq = None
 
 
 class Simulator:

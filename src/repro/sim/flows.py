@@ -1,0 +1,973 @@
+"""Flow-level adaptive fidelity: macro events for the remaining traffic
+classes.
+
+:mod:`repro.opteron.train` proved the macro-event pattern for one traffic
+class -- the uncontended bulk WC store -- by replacing the per-packet
+pipeline with a closed-form schedule plus an *exact demotion* path that
+reconstructs per-packet state at an arbitrary instant.  This module
+generalizes the pattern to the classes that still ran packet by packet:
+
+* **msglib ring slot traffic** (:func:`plan_eager_span`): an uncontended
+  run of eager ring-slot writes is coalesced into one contiguous
+  multi-line store, which then rides the existing bulk-train machinery.
+  The coalescing itself is *virtual-time neutral by construction*: the
+  per-slot path issues back-to-back 64-byte WC stores with zero virtual
+  time between the store calls, so a single span store walks the same
+  fill/stream schedule line for line.  Exact per-slot timestamps on
+  demotion therefore come for free -- the train's own abort replays the
+  identical per-line instants.
+
+* **read/response chains** (:class:`ReadFlow`): a run of same-route
+  remote reads through one quiescent link is collapsed to two calendar
+  entries per read (the DRAM issue instant and the response-complete
+  instant) instead of the ~10-entry request/response pipeline.  The
+  destination memory controller is still *really* called at the exact
+  per-packet issue instant, so port arbitration against unrelated local
+  traffic (receive-side polling!) stays exact.
+
+* **multi-hop forwarding** (:class:`ForwardFlow`): an intermediate
+  supernode absorbs same-route packets at the link delivery point and
+  re-emits them on the next hop with one calendar entry per packet,
+  instead of waking the rx loop, sleeping the forward latency and
+  running the transmit pump per packet.  Chained hop by hop this
+  propagates a macro flow across supernodes while the links stay clean.
+
+Contract (DESIGN.md section 12): a flow may only *promote* while every
+queue, credit pool and resource it would bypass is quiescent and
+deterministic; any foreign interaction -- a send on an owned link
+direction, a fault injection, a BER/rate change, a link state change --
+must *demote* the flow first, reconstructing bit-identical per-packet
+state at the demotion instant.  Flows change wall-clock cost, never
+virtual time; ``SimFeatures.flow_fidelity`` (default off) gates them all.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Tuple
+
+__all__ = ["plan_eager_span", "CommitSpan", "ReadFlow", "ForwardFlow"]
+
+
+# ---------------------------------------------------------------------------
+# msglib ring slot traffic: span coalescing
+# ---------------------------------------------------------------------------
+
+def plan_eager_span(seq0: int, nslots: int, free_slots: int,
+                    data: bytes, pos: int, remaining: int,
+                    pack_slot, slot_payload: int
+                    ) -> Optional[Tuple[int, bytes, List[int]]]:
+    """Plan the largest coalescible run of eager ring slots.
+
+    Returns ``(n, span, chunk_lens)`` -- the number of slots, the packed
+    ``n * 64``-byte contiguous slot image starting at ``seq0``'s ring
+    address, and each slot's payload length -- or ``None`` when no run of
+    at least two slots is possible.  The run is bounded by the message's
+    remaining payload, by the transmit window (``free_slots``, sampled
+    once: acknowledgements only ever *grow* the window, so a run that
+    fits now also fits slot by slot), and by the ring wrap (slots are
+    contiguous in memory only up to the ring's end).
+
+    Pure planning: no simulation state is touched.  The caller stores the
+    span through the ordinary WC path, which is schedule-identical to the
+    per-slot stores it replaces (see the module docstring) and -- for
+    runs of four lines and up -- eligible for the bulk-train collapse.
+    """
+    msg_slots = (remaining + slot_payload - 1) // slot_payload
+    run = nslots - ((seq0 - 1) % nslots)   # contiguity ends at the wrap
+    n = min(msg_slots, free_slots, run)
+    if n < 2:
+        return None
+    parts = []
+    chunk_lens = []
+    rem = remaining
+    p = pos
+    for i in range(n):
+        chunk = data[p : p + slot_payload]
+        parts.append(pack_slot(seq0 + i, rem, chunk))
+        chunk_lens.append(len(chunk))
+        p += len(chunk)
+        rem -= len(chunk)
+    return n, b"".join(parts), chunk_lens
+
+
+# ---------------------------------------------------------------------------
+# Destination-side commit spans
+# ---------------------------------------------------------------------------
+
+class CommitSpan:
+    """Arithmetic replacement for a train's per-line destination commits.
+
+    A clean :class:`~repro.opteron.train.BulkTrain` spends two calendar
+    entries per line on the destination side: the chain entry that calls
+    ``write_posted`` at the exact per-packet instant, and the memory
+    controller's own commit entry.  A ``CommitSpan`` eliminates both.  It
+    registers the whole arrival schedule with the controller and keeps
+    three lazily-advanced cursors:
+
+    * ``_applied``  -- arrivals folded into the controller's FCFS port
+      arithmetic.  The controller calls :meth:`sync_to` before serving
+      any foreign request, so interleaved claims (the receiver's polling
+      loads!) see exactly the ``busy_until`` evolution the per-packet
+      run produces, and span commit times pick up exactly the delays
+      foreign occupancy would have imposed.
+    * ``_flushed``  -- commits whose DRAM content, ``writes`` accounting
+      and doorbell rings have been applied.  Flushing happens at
+      observation points only: a foreign commit, a direct sample, a
+      doorbell wake, demotion, or the span's finalize entry.
+    * deferred doorbell rings -- the span registers as a *provider* on
+      every watched doorbell overlapping its range, so ``Doorbell.count``
+      reads fold in rings that exist arithmetically, and a calendar
+      entry is spent only when a consumer actually parks (:meth:`arm`).
+
+    Exactness contract: every externally observable quantity -- port
+    claim times, memory contents at read-commit instants, doorbell
+    counts and wake times, ``writes``/``rx_writes`` totals at any
+    quiescent point -- matches the per-packet run.  On demotion
+    (:meth:`abort`) in-flight commits become real calendar entries and
+    the not-yet-arrived tail is handed back to the train's chain.
+    """
+
+    __slots__ = ("sim", "mc", "dest_nb", "offs", "mv", "times", "K",
+                 "line", "occ", "_lat", "_c", "_applied", "_flushed",
+                 "_contig", "_recs", "_entries", "_fin_seq", "_detached")
+
+    def __init__(self, sim, mc, dest_nb, offs, mv, times, line):
+        self.sim = sim
+        self.mc = mc
+        self.dest_nb = dest_nb
+        self.offs = offs
+        self.mv = mv
+        self.times = times            # exact per-line write_posted instants
+        self.K = len(offs)
+        self.line = line
+        self.occ = mc._occupancy_ns(line)
+        self._lat = mc.timing.dram_write_ns
+        self._c = []                  # commit instants, filled as applied
+        self._applied = 0
+        self._flushed = 0
+        self._contig = all(offs[i + 1] - offs[i] == line
+                           for i in range(self.K - 1))
+        #: (doorbell, sorted overlapping line indices) for watched ranges.
+        self._recs = []
+        self._entries = {}            # doorbell -> (entry seq, seen count)
+        self._fin_seq = None
+        self._detached = False
+        for lo, hi, db in mc._watches:
+            idxs = [i for i in range(self.K)
+                    if offs[i] < hi and offs[i] + line > lo]
+            if idxs:
+                self._recs.append((db, idxs))
+                db._providers.append(self)
+        mc._spans.append(self)
+        # A consumer already parked before this span existed (the usual
+        # receive pattern: park first, traffic arrives later) would never
+        # hit the park-time arming hook -- arm for it now.
+        for db, _idxs in self._recs:
+            if db._waiters:
+                self.arm(db)
+        # One entry holds the calendar open to the last commit (the
+        # per-packet run's final _commit_write entry); re-armed if
+        # foreign port occupancy pushes the true instant later.
+        self._fin_seq = sim._push_cancellable(
+            self._estimate(self.K - 1), self._finalize, None)
+
+    # -- port arithmetic ----------------------------------------------------
+    def next_arrival(self) -> float:
+        return self.times[self._applied] if self._applied < self.K else _INF
+
+    def apply_one(self) -> None:
+        """Fold the next arrival into the controller's port FCFS state."""
+        a = self.times[self._applied]
+        mc = self.mc
+        b = mc._busy_until
+        start = b if b > a else a
+        mc._busy_until = end = start + self.occ
+        self._c.append(end + self._lat)
+        self._applied += 1
+        self.dest_nb.counters.inc("rx_writes")
+
+    def sync_to(self, now: float) -> None:
+        times = self.times
+        while self._applied < self.K and times[self._applied] <= now:
+            self.apply_one()
+
+    def _estimate(self, j: int) -> float:
+        """Earliest possible commit instant of line ``j`` (exact once the
+        arrival is applied; a lower bound before -- foreign claims only
+        ever push commits later, so an early entry re-arms, never a late
+        one fires after the fact)."""
+        if j < self._applied:
+            return self._c[j]
+        b = self.mc._busy_until
+        for i in range(self._applied, j + 1):
+            a = self.times[i]
+            b = (b if b > a else a) + self.occ
+        return b + self._lat
+
+    # -- content / accounting flush -----------------------------------------
+    def _rings(self, idxs, n: int) -> int:
+        return bisect_left(idxs, n)
+
+    def flush_until(self, now: float) -> None:
+        self.sync_to(now)
+        n = bisect_right(self._c, now)
+        f = self._flushed
+        if n <= f:
+            return
+        mc = self.mc
+        if self._contig:
+            base = f * self.line
+            mc.memory.write_span(self.offs[f], self.mv[base:n * self.line])
+        else:
+            for i in range(f, n):
+                base = i * self.line
+                mc.memory.write_span(self.offs[i],
+                                     self.mv[base:base + self.line])
+        mc.writes += n - f
+        mc.bytes_written += (n - f) * self.line
+        for db, idxs in self._recs:
+            db._count += self._rings(idxs, n) - self._rings(idxs, f)
+        self._flushed = n
+
+    # -- dynamic watch registration -----------------------------------------
+    def add_watch(self, lo: int, hi: int, db, now: float) -> None:
+        """A watch appeared mid-span (the receive path registers lazily on
+        first park).  Per-packet semantics: only commits *after* the
+        registration instant ring -- commits due by ``now`` were already
+        observable (and are flushed here for good measure)."""
+        self.sync_to(now)
+        self.flush_until(now)
+        idxs = [i for i in range(self._flushed, self.K)
+                if self.offs[i] < hi and self.offs[i] + self.line > lo]
+        if not idxs:
+            return
+        for d, existing in self._recs:
+            if d is db:
+                merged = sorted(set(existing) | set(idxs))
+                existing[:] = merged
+                break
+        else:
+            self._recs.append((db, idxs))
+            db._providers.append(self)
+        if db._waiters:
+            self.arm(db)
+
+    def remove_watch(self, db) -> None:
+        ent = self._entries.pop(db, None)
+        if ent is not None:
+            self.sim._cancel(ent[0])
+        for i, (d, _idxs) in enumerate(self._recs):
+            if d is db:
+                del self._recs[i]
+                db._providers.remove(self)
+                return
+
+    # -- doorbell provider protocol -----------------------------------------
+    def pending_rings(self, db, now: float) -> int:
+        self.sync_to(now)
+        n = bisect_right(self._c, now)
+        for d, idxs in self._recs:
+            if d is db:
+                return self._rings(idxs, n) - self._rings(idxs, self._flushed)
+        return 0
+
+    def arm(self, db) -> None:
+        """A consumer parked on ``db``: spend a calendar entry at the
+        next overlapping commit instant so the wake is not lost."""
+        if db in self._entries:
+            return
+        for d, idxs in self._recs:
+            if d is db:
+                j = idxs[self._rings(idxs, self._flushed)] \
+                    if self._rings(idxs, self._flushed) < len(idxs) else None
+                if j is None:
+                    return
+                seq = self.sim._push_cancellable(
+                    self._estimate(j), self._ring_fire, (db,))
+                self._entries[db] = (seq, db.count)
+                return
+
+    def _ring_fire(self, db) -> None:
+        _, seen = self._entries.pop(db, (None, None))
+        self.flush_until(self.sim._now)
+        if not db._waiters:
+            return
+        if db.count != seen:
+            db._wake_waiters()
+        else:
+            self.arm(db)  # fired on a lower-bound estimate; re-arm exact
+
+    # -- lifecycle ----------------------------------------------------------
+    def _finalize(self, _=None) -> None:
+        self._fin_seq = None
+        self.flush_until(self.sim._now)
+        if self._flushed >= self.K:
+            self.detach()
+        else:
+            self._fin_seq = self.sim._push_cancellable(
+                self._estimate(self.K - 1), self._finalize, None)
+
+    def detach(self) -> None:
+        if self._detached:
+            return
+        self._detached = True
+        sim = self.sim
+        if self._fin_seq is not None:
+            sim._cancel(self._fin_seq)
+            self._fin_seq = None
+        for seq, _ in self._entries.values():
+            sim._cancel(seq)
+        self._entries.clear()
+        for db, _ in self._recs:
+            db._providers.remove(self)
+        self.mc._spans.remove(self)
+
+    def abort(self, T: float) -> int:
+        """Demote: make the per-packet state real at instant ``T``.
+
+        Commits already flushed stay; arrivals claimed but not committed
+        become the real ``_commit_write`` calendar entries the per-packet
+        run would have in flight; everything after returns to the caller
+        (the first line index whose ``write_posted`` call has not
+        happened -- the train re-arms its per-line chain from there).
+        """
+        self.sync_to(T)
+        self.flush_until(T)
+        mc = self.mc
+        for i in range(self._flushed, self._applied):
+            base = i * self.line
+            self.sim._push(self._c[i], mc._commit_write,
+                           (self.offs[i], self.mv[base:base + self.line],
+                            None, None))
+        first_uncalled = self._applied
+        self.detach()
+        return first_uncalled
+
+
+# ---------------------------------------------------------------------------
+# Read/response chains
+# ---------------------------------------------------------------------------
+
+class ReadFlow:
+    """Closed-form remote read: request wire, destination DRAM issue and
+    response completion as three calendar entries instead of the
+    ~13-entry per-packet request/response pipeline (pump wakes, phy
+    handshakes, two rx-loop round trips, response routing).
+
+    The destination memory controller is still *really* called at the
+    exact per-packet issue instant, so port arbitration against unrelated
+    local traffic (receive-side polling!) stays exact; the responder's rx
+    loop is stolen for exactly the busy window the per-packet loop would
+    occupy.  A run of same-route reads promotes read after read -- each
+    one costs pure arithmetic plus the three entries, the "pipelined
+    schedule" over the run.
+
+    Demotion (:meth:`abort`): wherever the read is at instant ``T`` --
+    request serializing, on the cable, inside the responder crossbar,
+    awaiting DRAM, response serializing, on the cable, or inside the
+    requester crossbar -- the per-packet state is reconstructed (phy held
+    to the exact serialization end, credits taken, real deliver entries
+    pushed, rx loops busy-stolen) and the ordinary machinery finishes.
+    Link death mid-wire replays the pump's NAK dance with identical
+    counter effects at identical instants.
+    """
+
+    #: ReadFlow owns directions for demotion but never intercepts
+    #: deliveries (see ForwardFlow.absorbs).
+    absorbs = False
+
+    __slots__ = ("sim", "nb", "dest_nb", "dest_mc", "link", "req_d",
+                 "rsp_d", "pkt", "addr", "length", "response", "t0",
+                 "ser_req", "t_d1", "t_issue", "t_r", "ser_rsp", "rsp",
+                 "_e1", "_e3", "_getter", "_resp_port", "_demoted",
+                 "_done")
+
+    @classmethod
+    def plan(cls, nb, port, pkt, addr, length, response):
+        """Promote when every resource the macro path bypasses is
+        quiescent and the response provably routes straight back over the
+        same link; otherwise return None (per-packet path).
+
+        The credits-full checks double as an in-flight test: any packet
+        between TX queue and receiver consumption holds a credit, so full
+        pools mean nothing can arrive on either direction until a foreign
+        send happens -- and a foreign send demotes the flow first.
+        """
+        from ..opteron.northbridge import MasterAbort, RouteKind
+
+        binding = nb.chip.ports.get(port)
+        if binding is None:
+            return None
+        link = binding.link
+        if (link.state != "active" or link._ber > 0 or link.tracer.enabled
+                or nb._m.enabled):
+            return None
+        req_d = link._dirs[binding.side]
+        rsp_side = "B" if binding.side == "A" else "A"
+        rsp_d = link._dirs[rsp_side]
+        for d in (req_d, rsp_d):
+            if d._train is not None or d._flow is not None:
+                return None
+            if d.phy._in_use or d.phy._waiters:
+                return None
+            if d.rx._items or len(d.rx._getters) != 1:
+                return None
+            for vc, q in d.txq.items():
+                if q._items or len(q._getters) != 1:
+                    return None
+                cred = d.credits[vc]
+                if cred._credits != cred.initial:
+                    return None
+        dest_chip = link.attached.get(rsp_side)
+        if dest_chip is None:
+            return None
+        dest_nb = dest_chip.nb
+        if (not dest_nb._started or dest_nb._m.enabled
+                or pkt.unitid == dest_nb.nodeid
+                or dest_chip.memctrl.tracer.enabled):
+            return None
+        try:
+            r = dest_nb.route(addr)
+            r2 = dest_nb.route(addr + length - 1)
+            resp_port = dest_nb._fabric_port_for(pkt.unitid, route="response")
+        except MasterAbort:
+            return None
+        if (r.kind is not RouteKind.DRAM_LOCAL or not r.readable
+                or r2.kind is not r.kind or not dest_nb._dram_ready()):
+            return None
+        rb = dest_nb.chip.ports.get(resp_port)
+        if rb is None or rb.link is not link or rb.side != rsp_side:
+            return None
+        return cls(nb, link, req_d, rsp_d, dest_nb, resp_port, pkt, addr,
+                   length, response)
+
+    def __init__(self, nb, link, req_d, rsp_d, dest_nb, resp_port, pkt,
+                 addr, length, response):
+        from .engine import MacroEntry
+
+        sim = nb.sim
+        self.sim = sim
+        self.nb = nb
+        self.dest_nb = dest_nb
+        self.dest_mc = dest_nb.chip.memctrl
+        self.link = link
+        self.req_d = req_d
+        self.rsp_d = rsp_d
+        self.pkt = pkt
+        self.addr = addr
+        self.length = length
+        self.response = response
+        self.t0 = sim._now
+        self.ser_req = link.serialization_ns(pkt)
+        self.t_d1 = self.t0 + self.ser_req + link.propagation_ns
+        self.t_issue = self.t_d1 + nb.timing.nb_request_ns
+        self.t_r = None
+        self.ser_rsp = None
+        self.rsp = None
+        self._getter = None
+        self._resp_port = resp_port
+        self._demoted = False
+        self._done = False
+        req_d._flow = self
+        rsp_d._flow = self
+        self._e1 = MacroEntry(sim)
+        self._e3 = MacroEntry(sim)
+        self._e1.arm(self.t_issue, self._issue, None)
+
+    # -- macro path ---------------------------------------------------------
+    def _issue(self, _=None) -> None:
+        """E1 (t_issue): the request "arrived" and crossed the responder
+        crossbar -- steal the responder's rx loop for its per-packet busy
+        window and issue the real DRAM read."""
+        self._e1.fired()
+        if self._getter is None:
+            self._getter = self.req_d.rx._getters.popleft()
+        ev = self.dest_mc.read(self.dest_nb._local_offset(self.addr),
+                               self.length, uncached=False)
+        ev.add_callback(self._mc_done)
+
+    def _mc_done(self, ev) -> None:
+        """The DRAM read committed (t_r): build the response and either
+        schedule the completion arithmetically (macro) or route it for
+        real (demoted while the read was in flight)."""
+        from ..ht.packet import make_read_response
+
+        sim = self.sim
+        self.t_r = sim._now
+        pkt = self.pkt
+        self.rsp = make_read_response(ev.value, srctag=pkt.srctag,
+                                      unitid=pkt.unitid,
+                                      coherent=pkt.coherent)
+        if self._demoted:
+            sim.process(self._demoted_tail(),
+                        name=f"{self.dest_nb.name}.readflow_demote")
+            return
+        self.dest_nb.counters.inc("rx_reads")
+        self._restore_getter(self.req_d.rx)
+        self.ser_rsp = self.link.serialization_ns(self.rsp)
+        t_done = (self.t_r + self.ser_rsp + self.link.propagation_ns
+                  + self.nb.timing.nb_request_ns)
+        self._e3.arm(t_done, self._complete, None)
+
+    def _demoted_tail(self):
+        """Post-demotion completion: exactly the per-packet rx-loop tail
+        (response routed with real back-pressure, then accounting, then
+        the rx loop re-parks)."""
+        nb = self.dest_nb
+        yield from nb._route_response(self.rsp, self._resp_port)
+        nb.counters.inc("rx_reads")
+        self._restore_getter(self.req_d.rx)
+
+    def _restore_getter(self, rx) -> None:
+        if self._getter is not None:
+            rx._getters.appendleft(self._getter)
+            self._getter = None
+            rx._wake_getter()
+
+    def _complete(self, _=None) -> None:
+        """E3 (t_done): response consumed and matched at the requester."""
+        self._e3.fired()
+        if not self._demoted:
+            self._apply_req_stats()
+            self._apply_rsp_stats()
+        self._detach()
+        nb = self.nb
+        ev = nb.tags.match(self.pkt.srctag)
+        nb._pending_reads.pop(self.pkt.srctag, None)
+        if not ev.triggered:
+            ev.succeed(self.rsp.data)
+        nb.counters.inc("responses_matched")
+        self._restore_getter(self.rsp_d.rx)
+
+    # -- bookkeeping --------------------------------------------------------
+    def _apply_req_stats(self) -> None:
+        s = self.req_d.stats
+        s.packets += 1
+        s.payload_bytes += len(self.pkt.data)
+        s.wire_bytes += self.pkt.wire_bytes(self.link._crc_bytes)
+        s.busy_ns += self.ser_req
+
+    def _apply_rsp_stats(self) -> None:
+        s = self.rsp_d.stats
+        s.packets += 1
+        s.payload_bytes += len(self.rsp.data)
+        s.wire_bytes += self.rsp.wire_bytes(self.link._crc_bytes)
+        s.busy_ns += self.ser_rsp
+
+    def _detach(self) -> None:
+        self._done = True
+        if self.req_d._flow is self:
+            self.req_d._flow = None
+        if self.rsp_d._flow is self:
+            self.rsp_d._flow = None
+
+    # -- demotion -----------------------------------------------------------
+    def _replay_tx(self, d, pkt, ser_end, ser) -> None:
+        """Reconstruct a packet mid-serialization: hold the phy to the
+        exact end instant, then deliver (link up) or hand the packet to
+        the pump for the per-packet NAK dance (link died mid-wire).  The
+        caller has already taken the packet's credit."""
+        sim = self.sim
+        d.phy.try_acquire()
+
+        def _end(_=None):
+            link = self.link
+            stats = d.stats
+            stats.busy_ns += ser
+            d.phy.release()
+            if link.state == "active":
+                stats.packets += 1
+                stats.payload_bytes += len(pkt.data)
+                stats.wire_bytes += pkt.wire_bytes(link._crc_bytes)
+                sim._push(sim._now + link.propagation_ns, d._deliver,
+                          (pkt, pkt.vc))
+            else:
+                d.credits[pkt.vc].give()
+                q = d.txq[pkt.vc]
+                q.unget(pkt)
+                q._wake_getter()
+
+        sim._push(ser_end, _end, None)
+
+    def abort(self, T: float) -> None:
+        """Demote at instant ``T``: make the per-packet state real for
+        whatever phase the read is in and let the ordinary machinery
+        finish the job."""
+        if self._done:
+            return
+        from ..obs.metrics import flow_counters
+
+        flow_counters(self.sim).read_demotions += 1
+        self.nb._read_flow_port = None
+        self._detach()
+        sim = self.sim
+        pkt = self.pkt
+        if self._e1.armed:
+            # Request on the wire or inside the responder crossbar.
+            if T < self.t0 + self.ser_req:
+                self._e1.cancel()
+                self.req_d.credits[pkt.vc].try_take()
+                self._replay_tx(self.req_d, pkt, self.t0 + self.ser_req,
+                                self.ser_req)
+            elif T < self.t_d1:
+                self._e1.cancel()
+                self._apply_req_stats()
+                self.req_d.credits[pkt.vc].try_take()
+                sim._push(self.t_d1, self.req_d._deliver, (pkt, pkt.vc))
+            else:
+                # Consumed by the responder's rx loop, crossbar latency in
+                # progress: keep E1 (it issues the DRAM read at the exact
+                # per-packet instant) but steal the rx loop now -- the
+                # per-packet loop is busy from t_d1 on.
+                self._apply_req_stats()
+                if self._getter is None:
+                    self._getter = self.req_d.rx._getters.popleft()
+                self._demoted = True
+            return
+        if self.t_r is None:
+            # DRAM read in flight: _mc_done will route the response for
+            # real (rx loop stays stolen until then, as per-packet).
+            self._apply_req_stats()
+            self._demoted = True
+            return
+        if not self._e3.armed:
+            return
+        self._apply_req_stats()
+        rsp = self.rsp
+        t_d2 = self.t_r + self.ser_rsp + self.link.propagation_ns
+        if T < self.t_r + self.ser_rsp:
+            self._e3.cancel()
+            self.rsp_d.credits[rsp.vc].try_take()
+            self._replay_tx(self.rsp_d, rsp, self.t_r + self.ser_rsp,
+                            self.ser_rsp)
+        elif T < t_d2:
+            self._e3.cancel()
+            self._apply_rsp_stats()
+            self.rsp_d.credits[rsp.vc].try_take()
+            sim._push(t_d2, self.rsp_d._deliver, (rsp, rsp.vc))
+        else:
+            # Response consumed at the requester, crossbar latency in
+            # progress: E3 stays (its instant is exact); the requester rx
+            # loop is busy until then, so steal it for the window.
+            self._apply_rsp_stats()
+            self._demoted = True
+            if self._getter is None and self.rsp_d.rx._getters:
+                self._getter = self.rsp_d.rx._getters.popleft()
+
+
+# ---------------------------------------------------------------------------
+# Multi-hop forwarding
+# ---------------------------------------------------------------------------
+
+class ForwardFlow:
+    """Absorb a uniform run of same-route posted packets at an
+    intermediate supernode without waking its rx loop or transmit pump
+    per packet.
+
+    The hop's rx loop creates the flow after forwarding one packet the
+    per-packet way; subsequent deliveries on the same in-direction that
+    still route to the same out-port are intercepted at the link delivery
+    point (:meth:`offer`), the crossbar forward latency and the out-link
+    serializer chain are computed arithmetically, and one delivery entry
+    per packet lands on the next hop -- where the next hop's rx loop
+    creates its own flow, chaining the macro across supernodes.
+
+    Eligibility pins the case where the arithmetic is a theorem: equal
+    link rates and uniform wire size make the out serializer gap-free
+    (each departure starts exactly when the previous serialization ends),
+    so the phy is held across the window and released exactly when the
+    per-packet pump would go idle; an in-link serialization no shorter
+    than the forward latency means the rx loop always re-parks before the
+    next arrival, so per-packet pop instants equal arrival instants.  The
+    route is re-sampled per packet, so an interval-routing update closes
+    the flow instead of misforwarding.
+
+    Demotion: not-yet-departed packets are handed to the real pump at
+    their exact pop instants, an in-flight serialization completes with
+    the phy held and then delivers or NAKs per link state, on-cable
+    deliveries stand, and the rx loop's residual busy window is
+    reproduced by stealing its parked getter until the window closes.
+    An idle flow (chain drained, nothing pending) closes itself so
+    trains and other flows can claim the directions again.
+    """
+
+    absorbs = True
+
+    __slots__ = ("sim", "nb", "d_in", "link_in", "d_out", "link_out",
+                 "out_port", "fwd", "ser_out", "wire", "_phy_held",
+                 "_last_end", "_last_arrival", "_rel_seq", "_pending",
+                 "_done")
+
+    @classmethod
+    def eligible(cls, nb, d_in, binding_out, pkt0) -> bool:
+        link_out = binding_out.link
+        link_in = d_in.link
+        if (link_out.state != "active" or link_out._ber > 0
+                or link_out.tracer.enabled or link_in.tracer.enabled
+                or nb._m.enabled):
+            return False
+        if link_out._rate != link_in._rate:
+            return False
+        if link_in.serialization_ns(pkt0) < nb.timing.nb_forward_ns:
+            return False
+        d_out = link_out._dirs[binding_out.side]
+        if d_out._train is not None or d_out._flow is not None:
+            return False
+        if d_in._train is not None or d_in._flow is not None:
+            return False
+        if d_out.phy._in_use or d_out.phy._waiters:
+            return False
+        for vc, q in d_out.txq.items():
+            if q._items or len(q._getters) != 1:
+                return False
+            cred = d_out.credits[vc]
+            if cred._credits != cred.initial:
+                return False
+        # Called from inside the hop's rx loop (it is running, not
+        # parked): the in-direction must have no backlog -- queued
+        # packets would be processed per-packet behind freshly absorbed
+        # ones, reordering the stream -- and no other consumer.
+        if d_in.rx._items or d_in.rx._getters:
+            return False
+        return True
+
+    def __init__(self, nb, d_in, binding_out, out_port, pkt0):
+        from ..obs.metrics import flow_counters
+
+        sim = nb.sim
+        self.sim = sim
+        self.nb = nb
+        self.d_in = d_in
+        self.link_in = d_in.link
+        self.link_out = binding_out.link
+        self.d_out = binding_out.link._dirs[binding_out.side]
+        self.out_port = out_port
+        self.fwd = nb.timing.nb_forward_ns
+        self.ser_out = self.link_out.serialization_ns(pkt0)
+        self.wire = pkt0.wire_bytes(self.link_in._crc_bytes)
+        self._phy_held = False
+        # The trigger packet arrived one forward latency ago (the rx loop
+        # just finished its busy window for it).
+        self._last_arrival = sim._now - self.fwd
+        self._rel_seq = None
+        #: (pkt, depart_start, depart_end) not yet past serialization.
+        self._pending = []
+        self._done = False
+        d_in._flow = self
+        self.d_out._flow = self
+        fl = flow_counters(sim)
+        fl.forward_windows += 1
+        # Absorb the trigger itself: the direction was fully quiescent, so
+        # the per-packet pump would pop it at this very instant -- take
+        # its credit and serializer window here instead.
+        now = sim._now
+        self.d_out.credits[pkt0.vc].try_take()
+        self.d_out.phy.try_acquire()
+        self._phy_held = True
+        e = now + self.ser_out
+        self._last_end = e
+        seq = sim._push_cancellable(e + self.link_out.propagation_ns,
+                                    self._deliver_one, (pkt0,))
+        self._pending.append((pkt0, now, e, seq))
+        fl.forward_packets += 1
+        self._rel_seq = sim._push_cancellable(e, self._maybe_release, None)
+
+    def wants(self, pkt) -> bool:
+        from ..ht.packet import Command
+        from ..opteron.northbridge import MasterAbort, RouteKind
+
+        if pkt.cmd is not Command.WRITE_POSTED or pkt.mask is not None:
+            return False
+        if pkt.wire_bytes(self.link_in._crc_bytes) != self.wire:
+            return False
+        try:
+            r = self.nb.route(pkt.addr)
+            if not r.writable:
+                return False
+            if r.kind is RouteKind.MMIO_LOCAL_LINK:
+                # Coherent packets pay an extra IO-bridge conversion (and
+                # are rewritten non-coherent) on this branch: per-packet.
+                if pkt.coherent:
+                    return False
+                return r.dst_link == self.out_port
+            if r.kind is RouteKind.DRAM_REMOTE or r.kind is RouteKind.MMIO_REMOTE:
+                return self.nb._fabric_port_for(r.dst_node) == self.out_port
+            return False
+        except MasterAbort:
+            return False
+
+    def offer(self, pkt) -> bool:
+        """Called by the in-direction's delivery point.  True: absorbed.
+        False: the flow demoted itself first and the packet must take the
+        ordinary delivery path."""
+        from ..obs.metrics import flow_counters
+
+        sim = self.sim
+        now = sim._now
+        if not self.wants(pkt):
+            self.abort(now)
+            return False
+        if not self.d_out.credits[pkt.vc].try_take():
+            # Pool drained (credit theft / slow next hop): the per-packet
+            # pump would stall here -- demote and let it.
+            self.abort(now)
+            return False
+        self.d_in.credits[pkt.vc].give()        # rx-loop consumption
+        self._last_arrival = now
+        s = now + self.fwd
+        if s < self._last_end:
+            s = self._last_end
+        e = s + self.ser_out
+        self._last_end = e
+        if not self._phy_held:
+            self.d_out.phy.try_acquire()
+            self._phy_held = True
+        seq = sim._push_cancellable(e + self.link_out.propagation_ns,
+                                    self._deliver_one, (pkt,))
+        self._pending.append((pkt, s, e, seq))
+        self.nb.counters.inc("forwarded")
+        flow_counters(sim).forward_packets += 1
+        if self._rel_seq is None:
+            self._rel_seq = sim._push_cancellable(e, self._maybe_release,
+                                                  None)
+        return True
+
+    def _deliver_one(self, pkt) -> None:
+        """Arrival at the next hop: apply the packet's TX stats (due at
+        its serialization end, applied lazily here) and hand it over."""
+        pend = self._pending
+        if pend and pend[0][0] is pkt:
+            pend.pop(0)
+        stats = self.d_out.stats
+        stats.packets += 1
+        stats.payload_bytes += len(pkt.data)
+        stats.wire_bytes += pkt.wire_bytes(self.link_out._crc_bytes)
+        stats.busy_ns += self.ser_out
+        self.d_out._deliver(pkt, pkt.vc)
+
+    def _maybe_release(self, _=None) -> None:
+        """Serializer-chain end: release the phy exactly when the
+        per-packet pump would go idle, re-arming while the chain keeps
+        extending; a fully drained flow closes itself."""
+        self._rel_seq = None
+        if self._done:
+            return
+        now = self.sim._now
+        if self._last_end > now:
+            self._rel_seq = self.sim._push_cancellable(
+                self._last_end, self._maybe_release, None)
+            return
+        if self._phy_held:
+            self.d_out.phy.release()
+            self._phy_held = False
+        if not self._pending:
+            self.close()
+
+    def close(self) -> None:
+        """Quiet shutdown (chain drained): on-cable deliveries stand."""
+        if self._done:
+            return
+        self._done = True
+        self._release_dirs()
+        if self._rel_seq is not None:
+            self.sim._cancel(self._rel_seq)
+            self._rel_seq = None
+        if self._phy_held:
+            if self._last_end <= self.sim._now:
+                self.d_out.phy.release()
+                self._phy_held = False
+            else:
+                self.sim._push(self._last_end, self._final_release, None)
+
+    def _release_dirs(self) -> None:
+        if self.d_in._flow is self:
+            self.d_in._flow = None
+        if self.d_out._flow is self:
+            self.d_out._flow = None
+
+    def _final_release(self, _=None) -> None:
+        if self._phy_held:
+            self.d_out.phy.release()
+            self._phy_held = False
+
+    def abort(self, T: float) -> None:
+        """Demote: reconstruct the out direction's per-packet state and
+        the rx loop's residual busy window."""
+        if self._done:
+            return
+        from ..obs.metrics import flow_counters
+
+        flow_counters(self.sim).forward_demotions += 1
+        self._done = True
+        self._release_dirs()
+        sim = self.sim
+        if self._rel_seq is not None:
+            sim._cancel(self._rel_seq)
+            self._rel_seq = None
+        inflight_end = None
+        for pkt, s, e, seq in self._pending:
+            if e <= T:
+                continue                    # on the cable: entry stands
+            sim._cancel(seq)
+            if s <= T:
+                # Mid-serialization: complete the window with the phy
+                # held; the entry at its end delivers or replays the NAK
+                # dance per the link state *then* (exactly the pump).
+                inflight_end = e
+                self._finish_inflight(pkt, e)
+            else:
+                # Not yet popped by the pump: hand it back at the exact
+                # per-packet pop instant.
+                self.d_out.credits[pkt.vc].give()
+                sim._push(s, self._repump, (pkt,))
+        self._pending = []
+        if self._phy_held:
+            if inflight_end is None:
+                self.d_out.phy.release()
+                self._phy_held = False
+            # else: _finish_inflight releases at the window end.
+        # The rx loop would still be busy with the last absorbed packet's
+        # crossbar latency: steal its parked getter until the window
+        # closes so a chasing foreign delivery queues exactly as it
+        # would per-packet.
+        t_busy = self._last_arrival + self.fwd
+        rx = self.d_in.rx
+        if t_busy > T and rx._getters:
+            getter = rx._getters.popleft()
+
+            def _unpark(_=None):
+                rx._getters.appendleft(getter)
+                rx._wake_getter()
+
+            sim._push(t_busy, _unpark, None)
+
+    def _finish_inflight(self, pkt, ser_end) -> None:
+        sim = self.sim
+
+        def _end(_=None):
+            link = self.link_out
+            stats = self.d_out.stats
+            stats.busy_ns += self.ser_out
+            if self._phy_held:
+                self.d_out.phy.release()
+                self._phy_held = False
+            if link.state == "active":
+                stats.packets += 1
+                stats.payload_bytes += len(pkt.data)
+                stats.wire_bytes += pkt.wire_bytes(link._crc_bytes)
+                sim._push(sim._now + link.propagation_ns,
+                          self.d_out._deliver, (pkt, pkt.vc))
+            else:
+                self.d_out.credits[pkt.vc].give()
+                q = self.d_out.txq[pkt.vc]
+                q.unget(pkt)
+                q._wake_getter()
+
+        sim._push(ser_end, _end, None)
+
+    def _repump(self, pkt) -> None:
+        q = self.d_out.txq[pkt.vc]
+        q.unget(pkt)
+        q._wake_getter()
+

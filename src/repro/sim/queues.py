@@ -402,20 +402,40 @@ class Doorbell:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
-        self.count = 0
+        self._count = 0
         self._waiters: List[Event] = []
+        #: Deferred-ring providers (flow-level fidelity): objects whose
+        #: rings exist arithmetically but have not yet been applied to
+        #: ``_count``.  ``count`` folds them in so a consumer snapshot
+        #: observes exactly the value a per-packet run would have rung by
+        #: now; a provider only spends a calendar entry when a waiter
+        #: actually parks (see :class:`repro.sim.flows.CommitSpan`).
+        self._providers: List = []
         # Precomputed: endpoint polling parks on the doorbell once per
         # received message and per-wait f-strings show up in profiles.
         self._wait_name = f"{name}.wait"
 
+    @property
+    def count(self) -> int:
+        c = self._count
+        if self._providers:
+            now = self.sim._now
+            for p in self._providers:
+                c += p.pending_rings(self, now)
+        return c
+
     def ring(self) -> None:
         """Signal waiters (and future ``wait(seen)`` calls) that the
         watched state changed."""
-        self.count += 1
+        self._count += 1
         if self._waiters:
-            waiters, self._waiters = self._waiters, []
-            for ev in waiters:
-                ev.succeed(self.count)
+            self._wake_waiters()
+
+    def _wake_waiters(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        n = self.count
+        for ev in waiters:
+            ev.succeed(n)
 
     def wait(self, seen: int) -> Event:
         """Event that fires (with the current count) once ``count`` has
@@ -425,6 +445,8 @@ class Doorbell:
             ev.succeed(self.count)
         else:
             self._waiters.append(ev)
+            for p in self._providers:
+                p.arm(self)
         return ev
 
     @property

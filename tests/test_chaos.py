@@ -25,9 +25,9 @@ import pytest
 from repro.cluster import TCCluster
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.msglib import MsgConfig, TransportError
-from repro.obs.metrics import fault_counters
+from repro.obs.metrics import fault_counters, flow_counters
 from repro.topology import chain, mesh2d, ring, torus3d
-from repro.util.units import MiB
+from repro.util.units import KiB, MiB
 
 TRANSIENT = (FaultKind.LINK_FLAP, FaultKind.CREDIT_STALL, FaultKind.BER_STORM)
 DESTRUCTIVE = TRANSIENT + (FaultKind.NODE_CRASH,)
@@ -37,8 +37,8 @@ MSG_BYTES = 96
 HORIZON_NS = 6e7
 
 
-def payload(i: int) -> bytes:
-    return bytes([i % 251] * MSG_BYTES)
+def payload(i: int, nbytes: int = MSG_BYTES) -> bytes:
+    return bytes([i % 251] * nbytes)
 
 
 @dataclass
@@ -52,6 +52,10 @@ class ChaosOutcome:
     faults: dict = field(default_factory=dict)
     end_ns: float = 0.0
     bytes_received: int = 0
+    #: Macro windows opened by the flow-fidelity fast paths.  Deliberately
+    #: NOT part of the fingerprint: fidelity on/off must replay to the same
+    #: outcome while this counter (alone) differs between the two modes.
+    macro_windows: int = 0
 
     def fingerprint(self) -> Tuple:
         """Everything that must replay identically for one seed."""
@@ -61,14 +65,21 @@ class ChaosOutcome:
 
 
 def run_chaos(topo_factory, plan: FaultPlan,
-              n_msgs: int = N_MSGS, endpoints=None) -> ChaosOutcome:
+              n_msgs: int = N_MSGS, endpoints=None,
+              msg_bytes: int = MSG_BYTES, fidelity: bool = False,
+              cfg_extra: Optional[dict] = None) -> ChaosOutcome:
     """``endpoints`` maps the booted cluster to the (tx, rx) ranks; the
     default keeps the historical rank 0 -> rank 1 workload.  Grid tests
     pass ``cl.rank_of(...)`` pairs so multi-chip boards (torus3d) and
-    corner-to-corner paths get exercised."""
+    corner-to-corner paths get exercised.  ``fidelity`` switches on both
+    macro-event planes (trains + flows) before boot, so the same seeded
+    plan can be replayed against either execution mode."""
     cfg = MsgConfig(send_deadline_ns=5e6, recv_deadline_ns=2e7,
-                    retransmit_base_ns=100_000.0)
-    cl = TCCluster(topo_factory(), msg_cfg=cfg, memory_bytes=64 * MiB).boot()
+                    retransmit_base_ns=100_000.0, **(cfg_extra or {}))
+    cl = TCCluster(topo_factory(), msg_cfg=cfg, memory_bytes=64 * MiB)
+    cl.sim.features.adaptive_fidelity = fidelity
+    cl.sim.features.flow_fidelity = fidelity
+    cl.boot()
     FaultInjector(cl, plan).arm()
     rank_a, rank_b = endpoints(cl) if endpoints is not None else (0, 1)
     ep_a = cl.library(rank_a).connect(rank_b)
@@ -78,7 +89,7 @@ def run_chaos(topo_factory, plan: FaultPlan,
     def tx(_proc=None):
         try:
             for i in range(n_msgs):
-                yield from ep_a.send(payload(i))
+                yield from ep_a.send(payload(i, msg_bytes))
                 out.sent_ok += 1
         except TransportError as exc:
             out.tx_error = str(exc)
@@ -100,16 +111,21 @@ def run_chaos(topo_factory, plan: FaultPlan,
                   if v}
     out.end_ns = cl.sim.now
     out.bytes_received = ep_b.stats.bytes_received
+    fl = flow_counters(cl.sim)
+    out.macro_windows = (fl.slot_windows + fl.read_windows
+                         + fl.forward_windows)
     return out
 
 
-def check_oracles(out: ChaosOutcome, n_msgs: int = N_MSGS) -> None:
+def check_oracles(out: ChaosOutcome, n_msgs: int = N_MSGS,
+                  msg_bytes: int = MSG_BYTES) -> None:
     # No deadlock: both sides came to a verdict before the horizon.
     assert out.tx_done, "sender wedged (deadline watchdog failed to fire)"
     assert out.rx_done, "receiver wedged (deadline watchdog failed to fire)"
     # Prefix delivery, payloads intact, no duplicates or reordering.
     for i, msg in enumerate(out.delivered):
-        assert msg == payload(i), f"message {i} corrupted or out of order"
+        assert msg == payload(i, msg_bytes), (
+            f"message {i} corrupted or out of order")
     assert len(out.delivered) <= n_msgs
     # Exactly-once-or-failed: an acked send was consumed by the receiver
     # (an expired send may still have landed -- at-most-once on failure).
@@ -276,6 +292,66 @@ def test_chaos_grid_sweep(seed):
 
 
 # ---------------------------------------------------------------------------
+# Compound faults on one macro flow window (flow fidelity on vs off).
+# ---------------------------------------------------------------------------
+
+#: Eager-span friendly msglib config: big ring, 3584-byte messages
+#: coalesce into 64-slot spans that ride bulk trains when fidelity is on.
+_BULK_CFG = dict(ring_bytes=16 * KiB, eager_max=7168,
+                 fb_interval_slots=128, read_chunk=4 * KiB)
+BULK_BYTES = 3584
+BULK_MSGS = 10
+
+
+def _compound_outcome(seed: int, fidelity: bool) -> ChaosOutcome:
+    """BER storm AND credit stall overlapping on link 0 while an eager
+    bulk stream is in flight -- both faults land inside the same macro
+    flow window, forcing a demotion that the replay oracle then audits."""
+    storm_at = 4_000.0 + (seed * 977) % 6_000
+    stall_at = storm_at + 2_000.0 + (seed * 131) % 4_000
+    plan = (FaultPlan()
+            .add(storm_at, FaultKind.BER_STORM, 0,
+                 duration_ns=15_000.0, magnitude=1e-3)
+            .add(stall_at, FaultKind.CREDIT_STALL, 0,
+                 duration_ns=6_000.0))
+    return run_chaos(lambda: chain(2), plan, n_msgs=BULK_MSGS,
+                     msg_bytes=BULK_BYTES, fidelity=fidelity,
+                     cfg_extra=_BULK_CFG)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_compound_fault_macro_flow_oracle(seed):
+    """The two execution modes must reach the identical outcome: the
+    macro plane demotes back to per-packet mode mid-window when the storm
+    or the stall hits, and the demotion contract says bit-identical."""
+    fast = _compound_outcome(seed, fidelity=True)
+    slow = _compound_outcome(seed, fidelity=False)
+    check_oracles(fast, n_msgs=BULK_MSGS, msg_bytes=BULK_BYTES)
+    check_oracles(slow, n_msgs=BULK_MSGS, msg_bytes=BULK_BYTES)
+    assert fast.macro_windows >= 1, "no macro flow ever formed"
+    assert slow.macro_windows == 0
+    assert fast.fingerprint() == slow.fingerprint()
+
+
+def test_compound_fault_replays_identically():
+    """Same seed, fidelity on, run twice: the fingerprint (including the
+    macro window count) must replay exactly."""
+    a = _compound_outcome(2, fidelity=True)
+    b = _compound_outcome(2, fidelity=True)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.macro_windows == b.macro_windows
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(12))
+def test_compound_fault_macro_flow_sweep(seed):
+    fast = _compound_outcome(seed + 40, fidelity=True)
+    slow = _compound_outcome(seed + 40, fidelity=False)
+    check_oracles(fast, n_msgs=BULK_MSGS, msg_bytes=BULK_BYTES)
+    assert fast.fingerprint() == slow.fingerprint()
+
+
+# ---------------------------------------------------------------------------
 # Seeded random plans.
 # ---------------------------------------------------------------------------
 
@@ -320,9 +396,12 @@ def test_random_crash_always_pairs_rejoin():
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("fidelity", [False, True],
+                         ids=["per_packet", "flow_fidelity"])
 @pytest.mark.parametrize("seed", range(50))
-def test_chaos_sweep(seed):
-    """The acceptance sweep: 50 seeded plans, mixed kinds, all oracles.
+def test_chaos_sweep(seed, fidelity):
+    """The acceptance sweep: 50 seeded plans, mixed kinds, all oracles,
+    run under both execution modes (per-packet and flow-fidelity).
 
     Even kills and crashes are fair game on the ring (route-around keeps
     connectivity); errors are allowed, silent loss and hangs are not.
@@ -331,5 +410,5 @@ def test_chaos_sweep(seed):
     topo = (lambda: ring(3)) if seed % 2 == 0 else (lambda: chain(2))
     plan = FaultPlan.random(seed, horizon_ns=30_000.0, num_links=3,
                             num_ranks=3, n_events=4, kinds=kinds)
-    out = run_chaos(topo, plan)
+    out = run_chaos(topo, plan, fidelity=fidelity)
     check_oracles(out)
