@@ -31,6 +31,10 @@ model's accuracy.  Three scenarios:
   fig6 store sweeps), per-packet vs ``flow_fidelity`` ReadFlow macro
   schedules; virtual time must match exactly and the macro event count
   is gated.
+* ``collectives``    -- a 64 KiB allreduce across 16 ranks on
+  torus2d(4,4): bandwidth-optimal ring (Hamiltonian single-hop
+  embedding, flow-span bulk phases) vs binomial reduce+broadcast,
+  oracle-checked; the ring run's event count is gated.
 
 Emits ``BENCH_wallclock.json`` (repo root by default) with runtime,
 events executed, heap pushes, and events/sec per scenario, plus speedups
@@ -103,6 +107,10 @@ TORUS_RING_SEED = 0xC0FFEE
 #: Bytes the read-chain scenario pulls over the coherent fabric link
 #: (4096 cachelines -> 4096 remote read/response round trips).
 READ_CHAIN_BYTES = 256 * KiB
+
+#: Array bytes per rank for the collectives scenario (a 64 KiB allreduce
+#: on 16 torus ranks -- deep in the bandwidth-algorithm regime).
+COLLECTIVES_BYTES = 64 * KiB
 
 
 def bench_canonical():
@@ -622,6 +630,40 @@ def bench_read_chain():
     }
 
 
+def bench_collectives():
+    """The collective-algorithms scenario: a 64 KiB allreduce across 16
+    ranks on torus2d(4,4), bandwidth-optimal ring vs binomial
+    reduce+broadcast (both oracle-checked inside ``collective_point``).
+    The runs are deterministic, so the ring run's calendar-entry count
+    gates the collective schedules, the Hamiltonian ring embedding and
+    the flow-span engagement at once (``collectives_events_max``)."""
+    from repro.bench.sweep_points import collective_point
+
+    t0 = time.perf_counter()
+    ring_pt = collective_point("allreduce", "ring", COLLECTIVES_BYTES,
+                               shape=(4, 4))
+    binom_pt = collective_point("allreduce", "binomial", COLLECTIVES_BYTES,
+                                shape=(4, 4))
+    wall = time.perf_counter() - t0
+    assert ring_pt.ring_single_hop, "Hamiltonian embedding lost single-hop"
+    assert ring_pt.slot_windows > 0, "ring phases missed the span layer"
+    assert ring_pt.elapsed_ns < binom_pt.elapsed_ns, (
+        "ring allreduce no faster than binomial at 64 KiB"
+    )
+    return {
+        "runtime_s": round(wall, 4),
+        "nranks": 16,
+        "array_bytes": COLLECTIVES_BYTES,
+        "ring_elapsed_ns": ring_pt.elapsed_ns,
+        "binomial_elapsed_ns": binom_pt.elapsed_ns,
+        "ring_vs_binomial_x": round(binom_pt.elapsed_ns / ring_pt.elapsed_ns,
+                                    2),
+        "ring_slot_windows": ring_pt.slot_windows,
+        "events": ring_pt.events,
+        "binomial_events": binom_pt.events,
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -662,6 +704,7 @@ def main(argv=None) -> int:
         "torus64": bench_torus64(),
         "torus_ring": bench_torus_ring(),
         "read_chain": bench_read_chain(),
+        "collectives": bench_collectives(),
     }
 
     seed = SEED_BASELINE
@@ -721,6 +764,9 @@ def main(argv=None) -> int:
             ("read_chain_events_max",
              scenarios["read_chain"]["macro"]["events"],
              "read-chain flow-fidelity scenario"),
+            ("collectives_events_max",
+             scenarios["collectives"]["events"],
+             "collectives ring-allreduce scenario"),
         ]
         failed = False
         for key, got, label in gates:

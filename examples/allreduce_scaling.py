@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Size-adaptive allreduce on a 4x4 torus: watch the selector switch.
+
+Demonstrates the collective-algorithms layer (DESIGN.md section 13):
+
+1. boot a 16-blade torus2d(4,4) TCCluster,
+2. show the Hamiltonian rank embedding (every ring transfer is one
+   fabric hop on a grid topology),
+3. print the derived binomial->ring crossover from the calibrated
+   alpha/beta model,
+4. sweep message sizes through the *adaptive* allreduce and report
+   which algorithm the selector picked (via repro.obs collective
+   counters),
+5. force each algorithm at one bulk size and compare virtual-time
+   costs: the ring's 2m(n-1)/n bytes vs binomial's log2(n) full-size
+   hops.
+
+Run:  python examples/allreduce_scaling.py
+"""
+
+import numpy as np
+
+from repro import TCClusterSystem
+from repro.middleware import Communicator
+from repro.middleware.collectives import (
+    allreduce_crossover_bytes,
+    ring_hop_profile,
+)
+from repro.obs.metrics import collective_counters
+from repro.topology import torus2d
+from repro.util.units import KiB, fmt_time_ns
+
+ROWS = COLS = 4
+
+
+def run_allreduce(system, comms, nbytes, algorithm=None):
+    """One allreduce across all ranks; returns (virtual ns, result[0])."""
+    nel = max(1, nbytes // 8)
+
+    def worker(c):
+        local = np.arange(nel, dtype=np.float64) + c.rank
+        return (yield from c.allreduce(local, op="sum",
+                                       algorithm=algorithm))
+
+    start = system.sim.now
+    procs = [system.process(worker, c) for c in comms]
+    system.run_until(system.sim.all_of(procs))
+    results = [p.value for p in procs]
+    expected = sum(range(len(comms)))  # element 0: sum of ranks
+    assert all(r[0] == expected for r in results)
+    assert all(r.tobytes() == results[0].tobytes() for r in results)
+    return system.sim.now - start, results[0][0]
+
+
+def main() -> None:
+    topo = torus2d(ROWS, COLS)
+    system = TCClusterSystem(topo).boot()
+    n = system.nranks
+    print(f"Booted torus2d({ROWS},{COLS}): {n} ranks, "
+          f"{len(topo.edges)} TCC links")
+
+    comms = [Communicator.for_cluster(system.cluster, r) for r in range(n)]
+
+    # -- the topology-aware embedding --------------------------------------
+    c0 = comms[0]
+    hops = ring_hop_profile(topo, c0.ring_order, c0._rank_supernodes)
+    print(f"Hamiltonian ring embedding: order {c0.ring_order}")
+    print(f"  single-hop: {c0.ring_single_hop} "
+          f"(max hops per ring step: {max(hops)})")
+
+    # -- the derived crossover ---------------------------------------------
+    cross = allreduce_crossover_bytes(n)
+    print(f"Derived binomial->ring crossover at {n} ranks: {cross} bytes")
+
+    # -- adaptive sweep: what does the selector pick? ----------------------
+    print(f"\n{'size':>8}  {'algorithm':<12} {'virtual time':>14}")
+    counters = collective_counters(system.sim)
+    for nbytes in (256, 1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB):
+        before = dict(counters.algorithms)
+        elapsed, _ = run_allreduce(system, comms, nbytes)
+        picked = [k for k, v in counters.algorithms.items()
+                  if v != before.get(k, 0)]
+        algo = picked[0].split(".", 1)[1] if picked else "?"
+        print(f"{nbytes:>8}  {algo:<12} {fmt_time_ns(elapsed):>14}")
+
+    # -- forced comparison at one bulk size --------------------------------
+    bulk = 64 * KiB
+    print(f"\nForced algorithms at {bulk // KiB} KiB:")
+    times = {}
+    for algo in ("binomial", "ring", "rabenseifner"):
+        times[algo], _ = run_allreduce(system, comms, bulk, algorithm=algo)
+        print(f"  {algo:<12} {fmt_time_ns(times[algo]):>14}")
+    print(f"  ring speedup over binomial: "
+          f"{times['binomial'] / times['ring']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

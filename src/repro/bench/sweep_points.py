@@ -39,10 +39,14 @@ __all__ = [
     "coherence_point",
     "torus_point",
     "TorusPoint",
+    "collective_point",
+    "nic_collective_point",
+    "CollectivePoint",
     "run_bandwidth_sweep_parallel",
     "run_multihop_parallel",
     "run_coherence_scaling_parallel",
     "run_torus_sweep_parallel",
+    "run_collectives_sweep_parallel",
 ]
 
 #: Socket bindings per extra-hop count, as in ``run_multihop``.
@@ -180,6 +184,155 @@ def torus_point(shape: Tuple[int, int, int], size: int = 256 * KiB,
 
 
 # ---------------------------------------------------------------------------
+# Collective-algorithm points (torus-embedded MPI vs the NIC baselines)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CollectivePoint:
+    """One collective-operation evaluation point (picklable payload)."""
+
+    op: str                # "allreduce" | "bcast" | "alltoall"
+    algorithm: str         # forced algorithm (see middleware.collectives)
+    fabric: str            # "torus2d(8,8)" | baseline name ("ConnectX IB")
+    nranks: int
+    size: int              # payload bytes per rank (alltoall: per block)
+    elapsed_ns: float      # virtual time of the collective
+    mbps: float            # size / elapsed -- the effective per-rank rate
+    events: int            # calendar entries executed by the collective
+    slot_windows: int      # flow-fidelity spans engaged (0 = per-packet)
+    slot_slots: int        # ring slots carried by those spans
+    ring_single_hop: bool  # embedding proof: every ring hop crosses <=1 link
+
+
+def _collective_drivers(op: str, comms, size: int):
+    """Per-rank generator drivers plus a correctness check.
+
+    Inputs are deterministic per rank; the check asserts the simulated
+    result against the NumPy oracle (``allclose`` -- tree and ring
+    combine in different float orders) and, for allreduce, bitwise
+    equality *across* ranks (every rank must hold the same bytes).
+    """
+    import numpy as np
+
+    n = len(comms)
+    results: Dict[int, Any] = {}
+    if op == "allreduce":
+        nel = max(1, size // 8)
+        inputs = [np.arange(nel, dtype=np.float64) * 0.5 + r
+                  for r in range(n)]
+
+        def driver(c, algorithm):
+            results[c.rank] = yield from c.allreduce(
+                inputs[c.rank], op="sum", algorithm=algorithm)
+
+        def check():
+            oracle = np.sum(inputs, axis=0)
+            assert np.allclose(results[0], oracle)
+            ref = results[0].tobytes()
+            assert all(results[r].tobytes() == ref for r in range(n))
+    elif op == "bcast":
+        payload = bytes(range(256)) * (max(size, 256) // 256)
+        payload = payload[:size]
+
+        def driver(c, algorithm):
+            data = payload if c.rank == 0 else None
+            results[c.rank] = yield from c.bcast(data, root=0,
+                                                 algorithm=algorithm)
+
+        def check():
+            assert all(results[r] == payload for r in range(n))
+    elif op == "alltoall":
+
+        def block(src, dst):
+            seed = (src * 31 + dst * 7) & 0xFF
+            pattern = bytes((seed + i) & 0xFF for i in range(256))
+            return (pattern * (size // 256 + 1))[:size]
+
+        def driver(c, algorithm):
+            blocks = [block(c.rank, d) for d in range(n)]
+            results[c.rank] = yield from c.alltoall(blocks,
+                                                    algorithm=algorithm)
+
+        def check():
+            for dst in range(n):
+                for src in range(n):
+                    assert results[dst][src] == block(src, dst)
+    else:
+        raise ValueError(f"unknown collective op {op!r}")
+    return driver, check
+
+
+def _drive_collective(sim, comms, op: str, algorithm: str, size: int):
+    """Run one collective across all ranks; returns (elapsed, events)."""
+    driver, check = _collective_drivers(op, comms, size)
+    t0 = sim.now
+    e0 = sim.event_count
+    procs = [sim.process(driver(c, algorithm),
+                         name=f"{op}[{c.rank}]") for c in comms]
+    sim.run_until_event(sim.all_of(procs))
+    sim.run()
+    check()
+    return sim.now - t0, sim.event_count - e0
+
+
+def collective_point(op: str, algorithm: str, size: int,
+                     shape: Tuple[int, int] = (8, 8),
+                     flow_fidelity: bool = True) -> CollectivePoint:
+    """One forced-algorithm collective on a fresh booted 2D-torus cluster.
+
+    ``shape=(8, 8)`` is the 64-rank acceptance configuration: one rank
+    per supernode, ring collectives embedded on the Hamiltonian
+    supernode ring (single-hop by construction on even grids).  The
+    message-library window is widened so bandwidth-bound chunks stay on
+    the eager ring path, where the flow-fidelity layer coalesces them
+    into slot spans (reported via ``slot_windows``/``slot_slots``).
+    """
+    from ..core.api import TCClusterSystem
+    from ..middleware import Communicator
+    from ..msglib import MsgConfig
+    from ..obs.metrics import flow_counters
+    from ..topology import torus2d
+
+    cfg = MsgConfig(ring_bytes=64 * KiB, eager_max=24576,
+                    fb_interval_slots=128,
+                    heap_bytes=max(512 * KiB, 2 * size))
+    sys_ = TCClusterSystem(torus2d(*shape), msg_cfg=cfg)
+    sys_.boot()
+    sim = sys_.sim
+    sim.features.flow_fidelity = flow_fidelity
+    cl = sys_.cluster
+    comms = [Communicator.for_cluster(cl, r) for r in range(cl.nranks)]
+    elapsed, events = _drive_collective(sim, comms, op, algorithm, size)
+    fl = flow_counters(sim)
+    return CollectivePoint(
+        op, algorithm, f"torus2d({shape[0]},{shape[1]})", cl.nranks, size,
+        round(elapsed, 2), round(size / (elapsed / 1e9) / 1e6, 1),
+        events, fl.slot_windows, fl.slot_slots,
+        comms[0].ring_single_hop)
+
+
+def nic_collective_point(op: str, algorithm: str, size: int,
+                         nranks: int = 64,
+                         baseline: str = "connectx") -> CollectivePoint:
+    """The same forced-algorithm collective over a NIC full-mesh fabric
+    (idealized non-blocking switch -- contention-free, which only favours
+    the baseline; see :mod:`repro.baselines.fabric`)."""
+    from ..baselines import CONNECTX_IB, TEN_GBE, NicFabric
+    from ..middleware import Communicator
+    from ..sim import Simulator
+
+    params = {"connectx": CONNECTX_IB, "10gbe": TEN_GBE}[baseline]
+    sim = Simulator()
+    fabric = NicFabric(sim, nranks, params)
+    comms = [Communicator(fabric.comm_provider(r)) for r in range(nranks)]
+    elapsed, events = _drive_collective(sim, comms, op, algorithm, size)
+    return CollectivePoint(
+        op, algorithm, params.name, nranks, size,
+        round(elapsed, 2), round(size / (elapsed / 1e9) / 1e6, 1),
+        events, 0, 0, False)
+
+
+# ---------------------------------------------------------------------------
 # Parallel sweep wrappers (serial-order outputs, size-descending schedule)
 # ---------------------------------------------------------------------------
 
@@ -262,6 +415,49 @@ def run_torus_sweep_parallel(
     ]
     points.sort(key=lambda p: p.args[0][0] * p.args[0][1] * p.args[0][2],
                 reverse=True)
+    by_key = _run_points(points, order, jobs, timeout)
+    return [by_key[k] for k in order]
+
+
+def run_collectives_sweep_parallel(
+    specs: Sequence[Tuple[str, str, int]],
+    shape: Tuple[int, int] = (8, 8),
+    flow_fidelity: bool = True,
+    baselines: Sequence[str] = (),
+    nic_nranks: int = 64,
+    jobs: Optional[Any] = None,
+    timeout: Optional[float] = None,
+) -> List[CollectivePoint]:
+    """Collective sweep, one fresh cluster per point, pool fan-out.
+
+    ``specs`` is a list of ``(op, algorithm, size)`` triples run on the
+    torus cluster; each entry of ``baselines`` ("connectx" / "10gbe")
+    additionally runs every spec over that NIC fabric.  Output order:
+    all torus points in spec order, then each baseline's points.
+    """
+    order = [f"coll:{op}:{algo}:{size}" for op, algo, size in specs]
+    points = [
+        SweepPoint(
+            key=f"coll:{op}:{algo}:{size}",
+            fn=collective_point,
+            args=(op, algo, size),
+            kwargs={"shape": tuple(shape), "flow_fidelity": flow_fidelity},
+        )
+        for op, algo, size in specs
+    ]
+    for b in baselines:
+        order.extend(f"coll:{b}:{op}:{algo}:{size}"
+                     for op, algo, size in specs)
+        points.extend(
+            SweepPoint(
+                key=f"coll:{b}:{op}:{algo}:{size}",
+                fn=nic_collective_point,
+                args=(op, algo, size),
+                kwargs={"nranks": nic_nranks, "baseline": b},
+            )
+            for op, algo, size in specs
+        )
+    points.sort(key=lambda p: p.args[2], reverse=True)
     by_key = _run_points(points, order, jobs, timeout)
     return [by_key[k] for k in order]
 

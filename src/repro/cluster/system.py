@@ -32,7 +32,8 @@ from ..firmware import (
 from ..kernel import Kernel, UserProcess
 from ..msglib import MessageLibrary, MsgConfig
 from ..ht.link import LinkState
-from ..obs.metrics import MetricsRegistry, fault_counters, metrics_for
+from ..obs.metrics import (MetricsRegistry, collective_counters,
+                           fault_counters, metrics_for)
 from ..obs.report import format_report
 from ..opteron import OpteronChip, wire_link
 from ..sim import Barrier, Simulator
@@ -366,6 +367,7 @@ class TCCluster:
             "message_latency_ns": (latency.to_dict() if latency is not None
                                    else {"count": 0}),
             "faults": fault_counters(self.sim).as_dict(),
+            "collectives": collective_counters(self.sim).as_dict(),
             "registry": reg.snapshot(now),
         }
 

@@ -7,11 +7,16 @@ Section VII: "The next step in our work will be to port a middleware
 software layer like MPI or GASNet on top of our simple message library."
 
 This is that port, mpi4py-flavored: point-to-point with tag matching and
-an unexpected-message queue, plus the standard collectives (binomial
-broadcast and reduce, dissemination barrier, ring allgather, gather /
-scatter).  All methods are generators driven inside simulation processes;
-payloads are ``bytes`` (NumPy arrays go through ``tobytes``/frombuffer
-for the reduction collectives).
+an unexpected-message queue, plus the standard collectives.  Small
+messages use the latency-optimal seed algorithms (binomial broadcast and
+reduce, dissemination barrier, ring allgather, linear gather / scatter /
+alltoall); large messages dispatch to the bandwidth-optimal,
+topology-aware algorithms in :mod:`repro.middleware.collectives` (ring
+and Rabenseifner allreduce over a Hamiltonian supernode ring, segmented
+pipelined broadcast, pairwise-exchange alltoall) through an MPICH-style
+size-adaptive selector.  All methods are generators driven inside
+simulation processes; payloads are ``bytes`` (NumPy arrays go through
+``tobytes``/frombuffer for the reduction collectives).
 """
 
 from __future__ import annotations
@@ -23,9 +28,30 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..msglib import MessageLibrary
+from ..obs.metrics import collective_counters
 from ..sim import Resource
+from .collectives import (
+    ALLTOALL_CROSSOVER_BYTES,
+    CollectiveTuning,
+    _binomial_tree,
+    allreduce_crossover_bytes,
+    allreduce_rabenseifner,
+    allreduce_ring,
+    alltoall_linear,
+    alltoall_pairwise,
+    bcast_crossover_bytes,
+    bcast_segmented,
+    chunk_bounds,
+    reduce_scatter_ring,
+    ring_embedding,
+    ring_hop_profile,
+    select_allreduce,
+    select_alltoall,
+    select_bcast,
+)
 
-__all__ = ["Communicator", "Request", "ANY_TAG", "MpiError", "REDUCE_OPS"]
+__all__ = ["Communicator", "Request", "ANY_TAG", "MpiError", "REDUCE_OPS",
+           "CollectiveTuning"]
 
 ANY_TAG = -1
 
@@ -66,19 +92,67 @@ class Request:
 
 
 class Communicator:
-    """MPI_COMM_WORLD over TCCluster endpoints."""
+    """MPI_COMM_WORLD over TCCluster endpoints.
 
-    def __init__(self, lib: MessageLibrary):
+    ``topology``/``rank_supernodes`` (both optional, see
+    :meth:`for_cluster`) give the collectives their Hamiltonian ring
+    embedding and single-hop guarantee; without them, ring collectives
+    fall back to plain rank order and the size-adaptive selector prefers
+    Rabenseifner for bulk allreduce.  ``tuning`` overrides algorithm
+    choices and crossovers (:class:`~.collectives.CollectiveTuning`).
+    """
+
+    def __init__(self, lib: MessageLibrary, topology=None,
+                 rank_supernodes: Optional[Sequence[int]] = None,
+                 tuning: Optional[CollectiveTuning] = None):
         self.lib = lib
         self.sim = lib.sim
         self.rank = lib.rank
         self.size = lib.nranks
+        self.topology = topology
+        self.tuning = tuning if tuning is not None else CollectiveTuning()
+        self._rank_supernodes = (list(rank_supernodes)
+                                 if rank_supernodes is not None else None)
+        #: Rank order of the embedded collective ring (identity off-grid).
+        self.ring_order: List[int] = ring_embedding(
+            topology, self._rank_supernodes, self.size)
+        #: True when every cyclic hop of ``ring_order`` crosses at most
+        #: one TCC link (same board counts as zero hops).
+        self.ring_single_hop = False
+        if (topology is not None and getattr(topology, "is_grid", False)
+                and self._rank_supernodes is not None
+                and len(self._rank_supernodes) == self.size):
+            try:
+                hops = ring_hop_profile(topology, self.ring_order,
+                                        self._rank_supernodes)
+                self.ring_single_hop = all(h <= 1 for h in hops)
+            except Exception:
+                # Partial/odd rank->supernode maps keep the fallback order.
+                self.ring_single_hop = False
+        # Guards against double-counting constituent collectives (the
+        # binomial allreduce's internal reduce+bcast).
+        self._in_collective = False
         #: per-source unexpected queue: (tag, payload)
         self._unexpected: Dict[int, Deque[Tuple[int, bytes]]] = {}
         # Endpoints are single-producer/single-consumer; nonblocking ops
         # serialize per peer behind these locks.
         self._tx_locks: Dict[int, Resource] = {}
         self._rx_locks: Dict[int, Resource] = {}
+
+    @classmethod
+    def for_cluster(cls, cluster, rank: int,
+                    tuning: Optional[CollectiveTuning] = None) -> "Communicator":
+        """Communicator wired with the cluster's topology and rank map so
+        ring collectives get the neighbor embedding."""
+        return cls(cluster.library(rank), topology=cluster.topology,
+                   rank_supernodes=[ri.supernode for ri in cluster.ranks],
+                   tuning=tuning)
+
+    def _record_collective(self, op: str, algorithm: str, nbytes: int) -> None:
+        """Count the op unless it runs as a constituent of another
+        collective (``_in_collective``, set by the outer dispatcher)."""
+        if not self._in_collective:
+            collective_counters(self.sim).record(op, algorithm, nbytes)
 
     def _lock(self, table: Dict[int, Resource], peer: int) -> Resource:
         lock = table.get(peer)
@@ -165,27 +239,54 @@ class Communicator:
             dist <<= 1
             rnd += 1
 
-    def bcast(self, data: Optional[bytes], root: int = 0):
-        """Binomial-tree broadcast (MPICH algorithm); returns the data on
-        every rank."""
+    def bcast(self, data: Optional[bytes], root: int = 0,
+              algorithm: Optional[str] = None):
+        """Size-adaptive broadcast; returns the data on every rank.
+
+        Small messages ride the binomial tree (MPICH algorithm); large
+        ones the segmented pipeline (same tree, streamed in
+        ``tuning.bcast_segment_bytes`` chunks).  The root picks the
+        algorithm -- by ``algorithm``, ``tuning``, or the derived
+        crossover -- and a one-byte wire prefix keeps every rank's
+        dispatch consistent without a separate control round.
+        """
         n, me = self.size, self.rank
         if n == 1:
+            self._record_collective("bcast", "binomial",
+                                    len(data) if data else 0)
             return data
         rel = (me - root) % n
-        mask = 1
-        while mask < n:
-            if rel & mask:
-                src = (me - mask) % n
-                data = yield from self.recv(src, tag=_BCAST_TAG)
-                break
-            mask <<= 1
-        mask >>= 1
-        while mask > 0:
-            if rel + mask < n:
-                dst = (me + mask) % n
-                yield from self.send(data, dst, tag=_BCAST_TAG)
-            mask >>= 1
-        return data
+        parent, children = _binomial_tree(n, rel, me)
+        seg = self.tuning.bcast_segment_bytes
+        if me == root:
+            if data is None:
+                raise MpiError("bcast root must supply data")
+            algo = algorithm or self.tuning.bcast_algorithm
+            if algo is None:
+                cross = self.tuning.bcast_crossover_bytes
+                if cross is None:
+                    cross = bcast_crossover_bytes(n, seg)
+                algo = select_bcast(len(data), n, cross)
+            if algo not in ("binomial", "segmented"):
+                raise MpiError(f"unknown bcast algorithm {algo!r}")
+            self._record_collective("bcast", algo, len(data))
+            if algo == "binomial":
+                raw = b"\x00" + bytes(data)
+                for child in children:
+                    yield from self.send(raw, child, tag=_BCAST_TAG)
+                return bytes(data)
+            return (yield from bcast_segmented(self, data, root, seg))
+        first = yield from self.recv(parent, tag=ANY_TAG)
+        if first[:1] == b"\x00":
+            algo, out = "binomial", bytes(first[1:])
+            for child in children:
+                yield from self.send(first, child, tag=_BCAST_TAG)
+        else:
+            algo = "segmented"
+            out = yield from bcast_segmented(self, None, root, seg,
+                                             header=first)
+        self._record_collective("bcast", algo, len(out))
+        return out
 
     def gather(self, data: bytes, root: int = 0):
         """Gather equal-size blocks at ``root``; returns list there."""
@@ -226,22 +327,58 @@ class Communicator:
             blocks[(me - step - 1) % n] = current
         return blocks
 
-    def alltoall(self, blocks: Sequence[bytes]):
+    def alltoall(self, blocks: Sequence[bytes],
+                 algorithm: Optional[str] = None):
         """Personalized all-to-all: ``blocks[d]`` goes to rank d; returns
-        the list of blocks received (index = source rank).  Linear
-        pairwise exchange -- optimal on a fabric where sends complete
-        locally."""
+        the list of blocks received (index = source rank).
+
+        Small blocks use the linear exchange (sends complete locally on a
+        TCCluster); large blocks use the pairwise exchange, which posts
+        each receive concurrently with the send so bulk traffic streams
+        full-duplex instead of stalling on the flow-control window.  The
+        size-adaptive choice assumes uniform block sizes across ranks
+        (the MPI_Alltoall contract) -- force ``algorithm`` otherwise.
+        """
         n, me = self.size, self.rank
         if len(blocks) != n:
             raise MpiError("alltoall needs one block per rank")
-        out: List[Optional[bytes]] = [None] * n
-        out[me] = bytes(blocks[me])
-        for step in range(1, n):
-            dst = (me + step) % n
-            src = (me - step) % n
-            yield from self.send(blocks[dst], dst, tag=_ALLTOALL_TAG + step)
-            out[src] = yield from self.recv(src, tag=_ALLTOALL_TAG + step)
-        return out
+        algo = algorithm or self.tuning.alltoall_algorithm
+        if algo is None:
+            cross = self.tuning.alltoall_crossover_bytes
+            if cross is None:
+                cross = ALLTOALL_CROSSOVER_BYTES
+            algo = select_alltoall(max(len(b) for b in blocks), cross)
+        if algo not in ("linear", "pairwise"):
+            raise MpiError(f"unknown alltoall algorithm {algo!r}")
+        self._record_collective("alltoall", algo,
+                                sum(len(b) for b in blocks))
+        if n == 1:
+            return [bytes(blocks[0])]
+        # Both schedules run interior drain barriers on tied torus
+        # steps; don't count those as user-level collectives.
+        already = self._in_collective
+        self._in_collective = True
+        try:
+            if algo == "pairwise":
+                return (yield from alltoall_pairwise(self, blocks))
+            return (yield from alltoall_linear(self, blocks, _ALLTOALL_TAG))
+        finally:
+            self._in_collective = already
+
+    def _reduce_payload(self, raw: bytes, expected_nbytes: int, dtype,
+                        shape, src: int) -> np.ndarray:
+        """Decode one reduction contribution, validating its length: a
+        rank contributing a mismatched array raises :class:`MpiError`
+        naming both ranks and sizes instead of a cryptic frombuffer /
+        reshape ``ValueError`` mid-simulation."""
+        if len(raw) != expected_nbytes:
+            shape_note = f", shape {tuple(shape)}" if shape is not None else ""
+            raise MpiError(
+                f"reduction payload from rank {src} is {len(raw)} bytes; "
+                f"rank {self.rank} expected {expected_nbytes} "
+                f"(dtype {np.dtype(dtype)}{shape_note})")
+        arr = np.frombuffer(raw, dtype=dtype)
+        return arr.reshape(shape) if shape is not None else arr
 
     def reduce(self, array: np.ndarray, op: str = "sum", root: int = 0):
         """Binomial-tree reduction of a NumPy array; result at root."""
@@ -251,6 +388,7 @@ class Communicator:
         n = self.size
         rel = (self.rank - root) % n
         acc = np.array(array, copy=True)
+        self._record_collective("reduce", "binomial", acc.nbytes)
         mask = 1
         while mask < n:
             if rel & mask:
@@ -261,18 +399,73 @@ class Communicator:
             if src_rel < n:
                 src = (src_rel + root) % n
                 raw = yield from self.recv(src, tag=_REDUCE_TAG)
-                other = np.frombuffer(raw, dtype=acc.dtype).reshape(acc.shape)
+                other = self._reduce_payload(raw, acc.nbytes, acc.dtype,
+                                             acc.shape, src)
                 acc = fn(acc, other)
             mask <<= 1
         return acc
 
-    def allreduce(self, array: np.ndarray, op: str = "sum"):
-        """Reduce to rank 0, then broadcast."""
-        acc = yield from self.reduce(array, op=op, root=0)
-        raw = acc.tobytes() if self.rank == 0 else None
-        raw = yield from self.bcast(raw, root=0)
-        result = np.frombuffer(raw, dtype=array.dtype).reshape(np.shape(array))
-        return result.copy()
+    def reduce_scatter(self, array: np.ndarray, op: str = "sum"):
+        """Ring reduce-scatter: rank i returns the fully reduced chunk
+        ``flat[i*L//n : (i+1)*L//n]`` of the flattened input (1-D array;
+        see :func:`~.collectives.chunk_bounds`).  Runs on the embedded
+        neighbor ring, moving ``m(n-1)/n`` bytes per rank total."""
+        fn = REDUCE_OPS.get(op)
+        if fn is None:
+            raise MpiError(f"unknown reduce op {op!r}")
+        arr = np.ascontiguousarray(array)
+        self._record_collective("reduce_scatter", "ring", arr.nbytes)
+        flat = arr.reshape(-1)
+        if self.size == 1:
+            return flat.copy()
+        return (yield from reduce_scatter_ring(self, flat, fn))
+
+    def allreduce(self, array: np.ndarray, op: str = "sum",
+                  algorithm: Optional[str] = None):
+        """Size-adaptive allreduce.
+
+        Below the crossover (derived from the calibrated alpha/beta
+        model, override via ``tuning``): binomial reduce-to-0 plus
+        broadcast.  Above it: ring allreduce on the embedded neighbor
+        ring when the embedding is single-hop, else Rabenseifner --
+        both move ``2m(n-1)/n`` bytes per rank, the bandwidth optimum.
+        """
+        fn = REDUCE_OPS.get(op)
+        if fn is None:
+            raise MpiError(f"unknown reduce op {op!r}")
+        arr = np.ascontiguousarray(array)
+        algo = algorithm or self.tuning.allreduce_algorithm
+        if algo is None:
+            cross = self.tuning.allreduce_crossover_bytes
+            if cross is None:
+                cross = allreduce_crossover_bytes(self.size)
+            algo = select_allreduce(arr.nbytes, self.size, cross,
+                                    self.ring_single_hop)
+        if algo not in ("binomial", "ring", "rabenseifner"):
+            raise MpiError(f"unknown allreduce algorithm {algo!r}")
+        top = not self._in_collective
+        if top:
+            collective_counters(self.sim).record("allreduce", algo,
+                                                 arr.nbytes)
+            self._in_collective = True
+        try:
+            if self.size == 1:
+                return arr.copy()
+            if algo == "binomial":
+                acc = yield from self.reduce(arr, op=op, root=0)
+                raw = acc.tobytes() if self.rank == 0 else None
+                raw = yield from self.bcast(raw, root=0)
+                flat = self._reduce_payload(raw, arr.nbytes, arr.dtype,
+                                            None, 0)
+            elif algo == "ring":
+                flat = yield from allreduce_ring(self, arr.reshape(-1), fn)
+            else:
+                flat = yield from allreduce_rabenseifner(
+                    self, arr.reshape(-1), fn)
+        finally:
+            if top:
+                self._in_collective = False
+        return flat.reshape(arr.shape).copy()
 
 
 _BARRIER_TAG = 1 << 20

@@ -24,7 +24,8 @@ from .golden import (
     load_golden,
     save_golden,
 )
-from .metrics import (FaultCounters, LogHistogram, MetricsRegistry,
+from .metrics import (CollectiveCounters, FaultCounters, LogHistogram,
+                      MetricsRegistry, collective_counters,
                       datapath_counters, enable_metrics, fault_counters,
                       metrics_for)
 from .report import format_report
@@ -37,6 +38,8 @@ __all__ = [
     "datapath_counters",
     "FaultCounters",
     "fault_counters",
+    "CollectiveCounters",
+    "collective_counters",
     "JsonlExporter",
     "trace_records_to_jsonl",
     "read_jsonl",

@@ -46,6 +46,8 @@ __all__ = [
     "fault_counters",
     "FlowCounters",
     "flow_counters",
+    "CollectiveCounters",
+    "collective_counters",
 ]
 
 
@@ -341,6 +343,54 @@ def flow_counters(sim) -> "FlowCounters":
         fl = FlowCounters()
         sim._flow_counters = fl
     return fl
+
+
+class CollectiveCounters:
+    """Always-on collective-operation counter family.
+
+    Bumped once per rank per collective entered through the middleware
+    dispatchers (``allreduce``/``bcast``/``alltoall``/``reduce``/
+    ``reduce_scatter``); nested constituent calls (e.g. the binomial
+    allreduce's internal reduce+bcast) are not double-counted.  Like
+    :class:`FaultCounters`/:class:`FlowCounters` these are not part of
+    the golden distilled metrics -- they record which algorithm the
+    size-adaptive selector actually picked and how many payload bytes
+    each collective carried, the evidence the collectives benchmark and
+    tests read back.
+    """
+
+    __slots__ = ("ops", "payload_bytes", "algorithms")
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.payload_bytes = 0
+        #: ``"op.algorithm" -> count``, e.g. ``{"allreduce.ring": 3}``.
+        self.algorithms: Dict[str, int] = {}
+
+    def record(self, op: str, algorithm: str, nbytes: int) -> None:
+        self.ops += 1
+        self.payload_bytes += nbytes
+        key = f"{op}.{algorithm}"
+        self.algorithms[key] = self.algorithms.get(key, 0) + 1
+
+    def as_dict(self) -> Dict:
+        return {
+            "ops": self.ops,
+            "payload_bytes": self.payload_bytes,
+            "algorithms": dict(sorted(self.algorithms.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CollectiveCounters {self.as_dict() if self.ops else 'idle'}>"
+
+
+def collective_counters(sim) -> "CollectiveCounters":
+    """The (lazily created) collective counters of one simulator."""
+    cc = getattr(sim, "_collective_counters", None)
+    if cc is None:
+        cc = CollectiveCounters()
+        sim._collective_counters = cc
+    return cc
 
 
 def datapath_counters(sim, memories=()) -> Dict[str, int]:

@@ -48,6 +48,8 @@ from typing import List, Optional, Tuple
 
 __all__ = ["plan_eager_span", "CommitSpan", "ReadFlow", "ForwardFlow"]
 
+_INF = float("inf")
+
 
 # ---------------------------------------------------------------------------
 # msglib ring slot traffic: span coalescing

@@ -386,6 +386,74 @@ class ClusterTopology:
                     q.append(n)
         raise TopologyError(f"no path from {src} to {dst}")
 
+    # ------------------------------------------------------------------
+    # Hamiltonian ring embedding (ring-collective neighbor order)
+    # ------------------------------------------------------------------
+    def hamiltonian_supernode_ring(self) -> List[int]:
+        """Supernode order for neighbor-embedded ring collectives.
+
+        Returns a permutation of all supernodes, starting at supernode 0,
+        in which consecutive entries are grid neighbors wherever the shape
+        permits:
+
+        * a grid with at least one even dimension yields a true
+          Hamiltonian *cycle* via the reserved-line construction (the even
+          dimension becomes the outer axis; its line through the origin is
+          reserved as the return path while a boustrophedon snake covers
+          the rest), so every hop -- including the closing one -- is a
+          single mesh edge, with no reliance on wraparound links;
+        * an all-odd grid has no Hamiltonian cycle on a mesh (bipartite
+          parity), so it degrades to the serpentine Hamiltonian *path*:
+          every interior hop is a single edge, only the closing hop is
+          multi-hop;
+        * non-grid topologies return identity order.
+        """
+        if not self.is_grid or self.shape is None:
+            return list(range(self.num_supernodes))
+        shape = tuple(self.shape)
+        even_dim = next((d for d, size in enumerate(shape) if size % 2 == 0),
+                        None)
+        if even_dim is None:
+            return [self.supernode_at(c) for c in _snake_coords(shape)]
+        rest_shape = shape[:even_dim] + shape[even_dim + 1:]
+        rest = _snake_coords(rest_shape)
+        height = shape[even_dim]
+
+        def at(row: int, rest_coords: Tuple[int, ...]) -> int:
+            coords = (rest_coords[:even_dim] + (row,)
+                      + rest_coords[even_dim:])
+            return self.supernode_at(coords)
+
+        if len(rest) == 1:
+            # Degenerate snake (all other dims are size 1): plain line.
+            return [at(row, rest[0]) for row in range(height)]
+        ring: List[int] = [at(0, rest[0])]
+        # Boustrophedon over rows, covering the non-reserved columns; the
+        # even height means the last row ends back beside the reserved
+        # column, and the return path down that column closes the cycle.
+        for row in range(height):
+            cols = rest[1:] if row % 2 == 0 else list(reversed(rest[1:]))
+            ring.extend(at(row, c) for c in cols)
+        ring.extend(at(row, rest[0]) for row in range(height - 1, 0, -1))
+        return ring
+
+
+def _snake_coords(shape: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+    """Boustrophedon coordinate enumeration over a grid ``shape``.
+
+    Consecutive coordinates differ by one step in exactly one dimension
+    (a Hamiltonian path of the grid graph, no wraparound edges used).
+    """
+    if not shape:
+        return [()]
+    head, rest = shape[0], shape[1:]
+    sub = _snake_coords(rest)
+    out: List[Tuple[int, ...]] = []
+    for i in range(head):
+        block = sub if i % 2 == 0 else list(reversed(sub))
+        out.extend((i,) + c for c in block)
+    return out
+
 
 # ---------------------------------------------------------------------------
 # Builders.  Ports: we reserve port 0 of node 0 for the southbridge and use

@@ -412,3 +412,53 @@ def test_chaos_sweep(seed, fidelity):
                             num_ranks=3, n_events=4, kinds=kinds)
     out = run_chaos(topo, plan, fidelity=fidelity)
     check_oracles(out)
+
+
+# ---------------------------------------------------------------------------
+# Collectives under faults
+# ---------------------------------------------------------------------------
+
+def test_allreduce_through_link_flap_fidelity_identical():
+    """A 16-rank ring allreduce on torus3d(2,2,2) runs to the correct
+    result *through* link flaps (retransmission recovers mid-collective),
+    and the flow-fidelity fast paths replay the identical outcome --
+    same result bytes and same virtual completion time as the
+    per-packet plane."""
+    import numpy as np
+
+    from repro.middleware import Communicator
+
+    plan_events = ((6_000.0, 1, 9_000.0), (20_000.0, 7, 12_000.0))
+    fingerprints = {}
+    for fidelity in (False, True):
+        cfg = MsgConfig(send_deadline_ns=5e6, recv_deadline_ns=2e7,
+                        retransmit_base_ns=100_000.0)
+        cl = TCCluster(torus3d(2, 2, 2), msg_cfg=cfg, memory_bytes=64 * MiB)
+        cl.sim.features.adaptive_fidelity = fidelity
+        cl.sim.features.flow_fidelity = fidelity
+        cl.boot()
+        plan = FaultPlan()
+        for at, link, dur in plan_events:
+            plan.add(at, FaultKind.LINK_FLAP, link, duration_ns=dur)
+        FaultInjector(cl, plan).arm()
+        n = cl.nranks
+        comms = [Communicator.for_cluster(cl, r) for r in range(n)]
+        assert comms[0].ring_single_hop
+        inputs = [np.arange(2048, dtype=np.float64) * 0.25 + r
+                  for r in range(n)]
+        oracle = np.sum(inputs, axis=0)
+        procs = [cl.sim.process(comms[r].allreduce(inputs[r],
+                                                   algorithm="ring"))
+                 for r in range(n)]
+        cl.sim.run_until_event(cl.sim.all_of(procs))
+        outs = [p.value for p in procs]
+        assert np.allclose(outs[0], oracle)
+        first = outs[0].tobytes()
+        assert all(o.tobytes() == first for o in outs)
+        faults = {k: v for k, v in
+                  fault_counters(cl.sim).as_dict().items() if v}
+        assert faults.get("retrains", 0) >= 1, \
+            "the flap plan never actually perturbed the fabric"
+        fingerprints[fidelity] = (first, cl.sim.now,
+                                  tuple(sorted(faults.items())))
+    assert fingerprints[False] == fingerprints[True]

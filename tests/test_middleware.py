@@ -372,3 +372,261 @@ def test_gas_get_requires_dispatcher():
     proc = sys_.sim.process(getter())
     with pytest.raises(GasError, match="dispatcher"):
         sys_.sim.run_until_event(proc)
+
+
+# ---------------------------------------------------------------------------
+# Collective algorithms (topology-aware, size-adaptive)
+# ---------------------------------------------------------------------------
+
+from repro.middleware import CollectiveTuning  # noqa: E402
+from repro.middleware.collectives import (  # noqa: E402
+    ALLTOALL_CROSSOVER_BYTES,
+    allreduce_crossover_bytes,
+    chunk_bounds,
+    ring_hop_profile,
+    select_allreduce,
+    select_alltoall,
+    select_bcast,
+)
+from repro.obs.metrics import collective_counters, flow_counters  # noqa: E402
+from repro.topology import mesh2d, torus2d, torus3d  # noqa: E402
+
+ALLREDUCE_ALGOS = ("binomial", "ring", "rabenseifner")
+
+
+@pytest.fixture(scope="module")
+def torus_system():
+    """16 ranks on torus2d(4,4): wrapped rings of 4, so the pairwise and
+    linear alltoall exercise tied (antipodal) steps, and the Hamiltonian
+    ring embedding is single-hop."""
+    return TCClusterSystem(torus2d(4, 4)).boot()
+
+
+@pytest.fixture(scope="module")
+def torus_comms(torus_system):
+    return [Communicator.for_cluster(torus_system.cluster, r)
+            for r in range(torus_system.nranks)]
+
+
+def _inputs(n, nel, dtype=np.float64, seed=0):
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        return [rng.integers(1, 5, size=nel).astype(dtype) for _ in range(n)]
+    return [(rng.standard_normal(nel) * 0.5).astype(dtype) for _ in range(n)]
+
+
+def _oracle(inputs, op):
+    fns = {"sum": np.add, "min": np.minimum, "max": np.maximum,
+           "prod": np.multiply}
+    acc = inputs[0].copy()
+    for a in inputs[1:]:
+        acc = fns[op](acc, a)
+    return acc
+
+
+def test_ring_embedding_single_hop_on_grids():
+    """The Hamiltonian embedding keeps every cyclic ring hop on a single
+    TCC link for even meshes and tori (the acceptance property the
+    bandwidth claim rests on)."""
+    for topo in (torus2d(4, 4), mesh2d(4, 4), torus3d(2, 2, 2)):
+        sys_ = TCClusterSystem(topo).boot()
+        comm = Communicator.for_cluster(sys_.cluster, 0)
+        assert sorted(comm.ring_order) == list(range(comm.size))
+        assert comm.ring_single_hop, topo.kind
+        hops = ring_hop_profile(topo, comm.ring_order,
+                                [ri.supernode for ri in sys_.cluster.ranks])
+        assert max(hops) <= 1
+
+
+def test_ring_embedding_fallback_off_grid(comms):
+    """Without topology info the ring order is plain rank order and no
+    single-hop promise is made."""
+    assert comms[0].ring_order == list(range(comms[0].size))
+    assert comms[0].ring_single_hop is False
+
+
+def test_chunk_bounds_cover_and_balance():
+    for total, n in ((16, 4), (17, 4), (3, 8), (0, 2), (1024, 7)):
+        bounds = chunk_bounds(total, n)
+        assert len(bounds) == n
+        assert bounds[0][0] == 0 and bounds[-1][1] == total
+        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+            assert b == c and b - a >= 0
+
+
+def test_selector_crossovers():
+    cross = allreduce_crossover_bytes(64)
+    assert 4096 < cross < 16384  # ~7.2 KiB from the calibrated model
+    assert select_allreduce(cross // 2, 64, cross, False) == "binomial"
+    assert select_allreduce(cross * 2, 64, cross, True) == "ring"
+    assert select_allreduce(cross * 2, 64, cross, False) == "rabenseifner"
+    assert select_alltoall(ALLTOALL_CROSSOVER_BYTES - 1,
+                           ALLTOALL_CROSSOVER_BYTES) == "linear"
+    assert select_alltoall(ALLTOALL_CROSSOVER_BYTES + 1,
+                           ALLTOALL_CROSSOVER_BYTES) == "pairwise"
+    assert select_bcast(128, 16, 4096) == "binomial"
+    assert select_bcast(1 << 20, 16, 4096) == "segmented"
+
+
+def test_allreduce_all_algorithms_match_oracle(torus_system, torus_comms):
+    """Every algorithm, forced, agrees with the NumPy oracle; within one
+    algorithm all ranks return bit-identical bytes."""
+    n = torus_system.nranks
+    for op in ("sum", "max", "min"):
+        inputs = _inputs(n, 384, seed=hash(op) % 1000)
+        oracle = _oracle(inputs, op)
+        for algo in ALLREDUCE_ALGOS:
+            outs = run_all(torus_system,
+                           [torus_comms[r].allreduce(inputs[r], op=op,
+                                                     algorithm=algo)
+                            for r in range(n)])
+            assert np.allclose(outs[0], oracle), (op, algo)
+            first = outs[0].tobytes()
+            assert all(o.tobytes() == first for o in outs), (op, algo)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_allreduce_fuzz_vs_numpy(torus_system, torus_comms, seed):
+    """Randomized sizes / dtypes / ops, every algorithm forced."""
+    rng = np.random.default_rng(1000 + seed)
+    n = torus_system.nranks
+    nel = int(rng.integers(1, 900))
+    dtype = rng.choice([np.float64, np.float32, np.int64])
+    op = str(rng.choice(["sum", "max", "min"]))
+    inputs = _inputs(n, nel, dtype=dtype, seed=seed)
+    oracle = _oracle(inputs, op)
+    for algo in ALLREDUCE_ALGOS:
+        outs = run_all(torus_system,
+                       [torus_comms[r].allreduce(inputs[r], op=op,
+                                                 algorithm=algo)
+                        for r in range(n)])
+        assert outs[0].dtype == np.dtype(dtype)
+        assert np.allclose(outs[0], oracle, rtol=1e-5), (nel, dtype, op, algo)
+        first = outs[0].tobytes()
+        assert all(o.tobytes() == first for o in outs)
+
+
+def test_reduce_scatter_matches_oracle(torus_system, torus_comms):
+    n = torus_system.nranks
+    inputs = _inputs(n, 1 + 16 * 37, seed=7)  # uneven chunks
+    oracle = _oracle(inputs, "sum")
+    outs = run_all(torus_system,
+                   [torus_comms[r].reduce_scatter(inputs[r])
+                    for r in range(n)])
+    bounds = chunk_bounds(inputs[0].size, n)
+    for r, (lo, hi) in enumerate(bounds):
+        assert np.allclose(outs[r], oracle[lo:hi]), r
+
+
+def test_bcast_segmented_all_roots(torus_system, torus_comms):
+    n = torus_system.nranks
+    payload = bytes(range(256)) * 40  # > one 8 KiB segment
+    for root in (0, 5, n - 1):
+        gens = []
+        for r in range(n):
+            data = payload if r == root else None
+            gens.append(torus_comms[r].bcast(data, root=root,
+                                             algorithm="segmented"))
+        outs = run_all(torus_system, gens)
+        assert all(o == payload for o in outs)
+
+
+def test_bcast_adaptive_matches_forced(torus_system, torus_comms):
+    """The wire-prefix dispatch gives non-roots the right algorithm even
+    when only the root knows the size."""
+    n = torus_system.nranks
+    for payload in (b"x" * 64, b"y" * 40000):
+        gens = [torus_comms[r].bcast(payload if r == 2 else None, root=2)
+                for r in range(n)]
+        outs = run_all(torus_system, gens)
+        assert all(o == payload for o in outs)
+
+
+@pytest.mark.parametrize("algo", ["linear", "pairwise"])
+def test_alltoall_algorithms_on_torus(torus_system, torus_comms, algo):
+    """Both schedules on the wrapped grid -- this exercises the tied
+    (antipodal) leg-synchronized steps that would otherwise close the
+    torus channel cycle."""
+    n = torus_system.nranks
+
+    def block(src, dst):
+        pat = bytes(((src * 31 + dst * 7 + i) & 0xFF) for i in range(97))
+        return pat * 3
+
+    outs = run_all(torus_system,
+                   [torus_comms[r].alltoall([block(r, d) for d in range(n)],
+                                            algorithm=algo)
+                    for r in range(n)])
+    for dst in range(n):
+        for src in range(n):
+            assert outs[dst][src] == block(src, dst), (src, dst, algo)
+
+
+def test_collective_counters_record_algorithms(torus_system, torus_comms):
+    n = torus_system.nranks
+    cc = collective_counters(torus_system.sim)
+    before = dict(cc.algorithms)
+    inputs = _inputs(n, 2048, seed=3)
+    run_all(torus_system,
+            [torus_comms[r].allreduce(inputs[r], algorithm="ring")
+             for r in range(n)])
+    after = dict(cc.algorithms)
+    assert after.get("allreduce.ring", 0) - before.get("allreduce.ring", 0) == n
+    # Constituents of a dispatched collective are not double-counted.
+    run_all(torus_system,
+            [torus_comms[r].allreduce(inputs[r], algorithm="binomial")
+             for r in range(n)])
+    final = dict(cc.algorithms)
+    assert final.get("allreduce.binomial", 0) - after.get("allreduce.binomial", 0) == n
+    assert final.get("bcast.binomial", 0) == after.get("bcast.binomial", 0)
+
+
+def test_reduce_contribution_length_mismatch_is_typed():
+    """A rank contributing a wrong-size array raises MpiError naming the
+    ranks and sizes instead of a cryptic frombuffer ValueError."""
+    sys_ = TCClusterSystem.two_board_prototype().boot()
+    cs = [Communicator(sys_.cluster.library(r)) for r in range(2)]
+
+    def r0():
+        return (yield from cs[0].reduce(np.arange(4.0), root=0))
+
+    def r1():
+        return (yield from cs[1].reduce(np.arange(3.0), root=0))
+
+    p0 = sys_.sim.process(r0())
+    sys_.sim.process(r1())
+    with pytest.raises(MpiError, match=r"rank 1.*24.*rank 0.*32|32.*24"):
+        sys_.sim.run_until_event(p0)
+
+
+def test_allreduce_fidelity_fingerprint_identical():
+    """flow_fidelity on/off: same result bytes, same virtual time; the
+    bulk ring phases must actually engage the macro-event span layer."""
+    results = {}
+    cfg = MsgConfig(ring_bytes=64 * 1024, eager_max=24576,
+                    fb_interval_slots=128)
+    for fidelity in (False, True):
+        sys_ = TCClusterSystem(torus2d(4, 4), msg_cfg=cfg)
+        sys_.sim.features.flow_fidelity = fidelity
+        sys_.boot()
+        cs = [Communicator.for_cluster(sys_.cluster, r)
+              for r in range(sys_.nranks)]
+        inputs = _inputs(sys_.nranks, 2048, seed=11)
+        outs = run_all(sys_, [cs[r].allreduce(inputs[r], algorithm="ring")
+                              for r in range(sys_.nranks)])
+        results[fidelity] = (outs[0].tobytes(), sys_.sim.now)
+        if fidelity:
+            fc = flow_counters(sys_.sim)
+            assert fc.slot_windows > 0 and fc.slot_slots > 0
+    assert results[False] == results[True]
+
+
+def test_tuning_overrides_selection():
+    sys_ = TCClusterSystem(torus2d(4, 4)).boot()
+    tuning = CollectiveTuning(allreduce_algorithm="rabenseifner")
+    cs = [Communicator.for_cluster(sys_.cluster, r, tuning=tuning)
+          for r in range(sys_.nranks)]
+    cc = collective_counters(sys_.sim)
+    inputs = _inputs(sys_.nranks, 8, seed=5)  # tiny: adaptive would say binomial
+    run_all(sys_, [cs[r].allreduce(inputs[r]) for r in range(sys_.nranks)])
+    assert cc.algorithms.get("allreduce.rabenseifner", 0) == sys_.nranks
