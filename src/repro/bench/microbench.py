@@ -43,6 +43,7 @@ __all__ = [
     "DEFAULT_BW_SIZES",
     "DEFAULT_LAT_SIZES",
     "make_prototype",
+    "prototype_image",
 ]
 
 #: Figure 6's x axis: 64 B .. 4 MB in powers of two.
@@ -78,9 +79,26 @@ class HopPoint:
     hrt_ns: float
 
 
-def make_prototype(timing: TimingModel = DEFAULT_TIMING) -> TCClusterSystem:
-    """The booted two-board prototype all microbenchmarks run on."""
+def make_prototype(timing: TimingModel = DEFAULT_TIMING,
+                   image=None) -> TCClusterSystem:
+    """The booted two-board prototype all microbenchmarks run on.
+
+    When ``image`` (a :class:`~repro.cluster.snapshot.BootImage`) is given,
+    the system is restored from it instead of simulating the boot protocol;
+    restored state is bit-exact vs a cold boot of the same signature.
+    """
+    if image is not None:
+        return TCClusterSystem.from_image(image)
     return TCClusterSystem.two_board_prototype(timing=timing).boot()
+
+
+def prototype_image(timing: TimingModel = DEFAULT_TIMING):
+    """The (cached) boot image for the two-board prototype signature."""
+    from ..cluster.snapshot import image_for
+    from ..topology import chain
+
+    topo = chain(2, node=1, left_port=2, right_port=2)
+    return image_for(topo, nodes_per_supernode=2, timing=timing)
 
 
 class _RawWindow:

@@ -30,6 +30,7 @@ from .microbench import (
     _echo,
     _pingpong,
     make_prototype,
+    prototype_image,
     run_bandwidth_sweep,
 )
 
@@ -61,9 +62,24 @@ def _maybe_metrics(sim, with_metrics: bool):
     return enable_metrics(sim)
 
 
-def fig6_point(size: int, mode: str, with_metrics: bool = False) -> Any:
-    """One Figure 6 bandwidth point on a fresh booted prototype."""
-    sys_ = make_prototype()
+def _seed_images(images) -> None:
+    """Worker initializer: install parent-built boot images in the
+    worker-local cache so same-signature points restore instead of
+    cold-booting (see :func:`repro.cluster.snapshot.seed_image_cache`)."""
+    from ..cluster.snapshot import seed_image_cache
+
+    seed_image_cache(images)
+
+
+def fig6_point(size: int, mode: str, with_metrics: bool = False,
+               use_image: bool = False) -> Any:
+    """One Figure 6 bandwidth point on a fresh booted prototype.
+
+    With ``use_image=True`` the prototype is restored from the cached
+    boot image for its signature (bit-exact vs a cold boot) instead of
+    re-simulating the boot protocol.
+    """
+    sys_ = make_prototype(image=prototype_image() if use_image else None)
     reg = _maybe_metrics(sys_.sim, with_metrics)
     pts = run_bandwidth_sweep(sizes=(size,), modes=(mode,), system=sys_)
     point = pts[0]
@@ -73,10 +89,11 @@ def fig6_point(size: int, mode: str, with_metrics: bool = False) -> Any:
 
 
 def multihop_point(extra_hops: int, iters: int = 40, size: int = 64,
-                   with_metrics: bool = False) -> Any:
+                   with_metrics: bool = False,
+                   use_image: bool = False) -> Any:
     """One multi-hop latency point (fresh prototype, numactl binding)."""
     chip_a, chip_b = _HOP_BINDINGS[extra_hops]
-    sys_ = make_prototype()
+    sys_ = make_prototype(image=prototype_image() if use_image else None)
     reg = _maybe_metrics(sys_.sim, with_metrics)
     cluster = sys_.cluster
     a = cluster.rank_of(0, chip_a)
@@ -121,7 +138,8 @@ class TorusPoint:
 
 
 def torus_point(shape: Tuple[int, int, int], size: int = 256 * KiB,
-                workload: str = "corner") -> TorusPoint:
+                workload: str = "corner",
+                use_image: bool = False) -> TorusPoint:
     """One fig6-style bulk transfer on a fresh booted 3D-torus cluster.
 
     * ``corner`` -- a single stream between antipodal corners (worst-case
@@ -134,8 +152,13 @@ def torus_point(shape: Tuple[int, int, int], size: int = 256 * KiB,
     from ..core.api import TCClusterSystem
     from ..topology import torus3d
 
-    sys_ = TCClusterSystem(torus3d(*shape))
-    sys_.boot()
+    if use_image:
+        from ..cluster.snapshot import image_for
+
+        sys_ = TCClusterSystem.from_image(image_for(torus3d(*shape)))
+    else:
+        sys_ = TCClusterSystem(torus3d(*shape))
+        sys_.boot()
     cl = sys_.cluster
     sim = sys_.sim
     boot_ns = sim.now
@@ -275,9 +298,21 @@ def _drive_collective(sim, comms, op: str, algorithm: str, size: int):
     return sim.now - t0, sim.event_count - e0
 
 
+def _collective_cfg(size: int):
+    """The message-library config a collective point of ``size`` runs
+    with (shared by the point function and the parallel image builder,
+    so their boot signatures agree)."""
+    from ..msglib import MsgConfig
+
+    return MsgConfig(ring_bytes=64 * KiB, eager_max=24576,
+                     fb_interval_slots=128,
+                     heap_bytes=max(512 * KiB, 2 * size))
+
+
 def collective_point(op: str, algorithm: str, size: int,
                      shape: Tuple[int, int] = (8, 8),
-                     flow_fidelity: bool = True) -> CollectivePoint:
+                     flow_fidelity: bool = True,
+                     use_image: bool = False) -> CollectivePoint:
     """One forced-algorithm collective on a fresh booted 2D-torus cluster.
 
     ``shape=(8, 8)`` is the 64-rank acceptance configuration: one rank
@@ -289,15 +324,18 @@ def collective_point(op: str, algorithm: str, size: int,
     """
     from ..core.api import TCClusterSystem
     from ..middleware import Communicator
-    from ..msglib import MsgConfig
     from ..obs.metrics import flow_counters
     from ..topology import torus2d
 
-    cfg = MsgConfig(ring_bytes=64 * KiB, eager_max=24576,
-                    fb_interval_slots=128,
-                    heap_bytes=max(512 * KiB, 2 * size))
-    sys_ = TCClusterSystem(torus2d(*shape), msg_cfg=cfg)
-    sys_.boot()
+    cfg = _collective_cfg(size)
+    if use_image:
+        from ..cluster.snapshot import image_for
+
+        sys_ = TCClusterSystem.from_image(
+            image_for(torus2d(*shape), msg_cfg=cfg))
+    else:
+        sys_ = TCClusterSystem(torus2d(*shape), msg_cfg=cfg)
+        sys_.boot()
     sim = sys_.sim
     sim.features.flow_fidelity = flow_fidelity
     cl = sys_.cluster
@@ -337,8 +375,12 @@ def nic_collective_point(op: str, algorithm: str, size: int,
 # ---------------------------------------------------------------------------
 
 def _run_points(points: List[SweepPoint], order: List[str],
-                jobs: Optional[Any], timeout: Optional[float]) -> Dict[str, Any]:
-    report = run_sweep(points, jobs=jobs, timeout=timeout)
+                jobs: Optional[Any], timeout: Optional[float],
+                images: Optional[List[Any]] = None) -> Dict[str, Any]:
+    worker_state = images if images else None
+    worker_init = _seed_images if images else None
+    report = run_sweep(points, jobs=jobs, timeout=timeout,
+                       worker_state=worker_state, worker_init=worker_init)
     by_key = {r.key: r.unwrap() for r in report.results}
     return {k: by_key[k] for k in order}
 
@@ -349,12 +391,16 @@ def run_bandwidth_sweep_parallel(
     jobs: Optional[Any] = None,
     timeout: Optional[float] = None,
     with_metrics: bool = False,
+    use_image: bool = False,
 ) -> List[BandwidthPoint]:
     """Figure 6 sweep, one fresh system per point, pool fan-out.
 
     Output order matches ``run_bandwidth_sweep`` (mode-major); the
     *schedule* submits the largest transfers first so the long points do
-    not straggle at the tail of the pool.
+    not straggle at the tail of the pool.  With ``use_image=True`` the
+    prototype is booted **once** in the parent, snapshotted, and every
+    point restores the image (shipped to workers via the pool
+    initializer) instead of re-simulating the boot protocol.
     """
     for s in sizes:
         if s % CACHELINE:
@@ -365,13 +411,14 @@ def run_bandwidth_sweep_parallel(
             key=f"fig6:{mode}:{size}",
             fn=fig6_point,
             args=(size, mode),
-            kwargs={"with_metrics": with_metrics},
+            kwargs={"with_metrics": with_metrics, "use_image": use_image},
         )
         for mode in modes
         for size in sizes
     ]
     points.sort(key=lambda p: p.args[0], reverse=True)
-    by_key = _run_points(points, order, jobs, timeout)
+    images = [prototype_image()] if use_image else None
+    by_key = _run_points(points, order, jobs, timeout, images=images)
     return [by_key[k] for k in order]
 
 
@@ -380,15 +427,19 @@ def run_multihop_parallel(
     size: int = 64,
     jobs: Optional[Any] = None,
     timeout: Optional[float] = None,
+    use_image: bool = False,
 ) -> List[HopPoint]:
     """Multi-hop sweep (0/1/2 extra hops), pool fan-out."""
     order = [f"hops:{extra}" for extra in range(len(_HOP_BINDINGS))]
     points = [
         SweepPoint(key=f"hops:{extra}", fn=multihop_point,
-                   args=(extra,), kwargs={"iters": iters, "size": size})
+                   args=(extra,),
+                   kwargs={"iters": iters, "size": size,
+                           "use_image": use_image})
         for extra in range(len(_HOP_BINDINGS))
     ]
-    by_key = _run_points(points, order, jobs, timeout)
+    images = [prototype_image()] if use_image else None
+    by_key = _run_points(points, order, jobs, timeout, images=images)
     return [by_key[k] for k in order]
 
 
@@ -398,24 +449,35 @@ def run_torus_sweep_parallel(
     size: int = 256 * KiB,
     jobs: Optional[Any] = None,
     timeout: Optional[float] = None,
+    use_image: bool = False,
 ) -> List[TorusPoint]:
     """Torus-scale sweep (64..512 supernodes), pool fan-out.
 
     Each point boots its own cluster from cold, so points are
     independent and the process pool fans them out safely; the largest
     shapes are scheduled first so they do not straggle at the tail.
+    With ``use_image=True`` each distinct shape is booted once in the
+    parent and every point restores the matching snapshot.
     """
     order = [f"torus:{x}x{y}x{z}:{w}" for (x, y, z) in shapes
              for w in workloads]
     points = [
         SweepPoint(key=f"torus:{x}x{y}x{z}:{w}", fn=torus_point,
-                   args=((x, y, z),), kwargs={"size": size, "workload": w})
+                   args=((x, y, z),),
+                   kwargs={"size": size, "workload": w,
+                           "use_image": use_image})
         for (x, y, z) in shapes
         for w in workloads
     ]
     points.sort(key=lambda p: p.args[0][0] * p.args[0][1] * p.args[0][2],
                 reverse=True)
-    by_key = _run_points(points, order, jobs, timeout)
+    images = None
+    if use_image:
+        from ..cluster.snapshot import image_for
+        from ..topology import torus3d
+
+        images = [image_for(torus3d(*shape)) for shape in shapes]
+    by_key = _run_points(points, order, jobs, timeout, images=images)
     return [by_key[k] for k in order]
 
 
@@ -427,6 +489,7 @@ def run_collectives_sweep_parallel(
     nic_nranks: int = 64,
     jobs: Optional[Any] = None,
     timeout: Optional[float] = None,
+    use_image: bool = False,
 ) -> List[CollectivePoint]:
     """Collective sweep, one fresh cluster per point, pool fan-out.
 
@@ -434,6 +497,9 @@ def run_collectives_sweep_parallel(
     torus cluster; each entry of ``baselines`` ("connectx" / "10gbe")
     additionally runs every spec over that NIC fabric.  Output order:
     all torus points in spec order, then each baseline's points.
+    With ``use_image=True`` the torus cluster is booted once per
+    distinct message-library config (sizes above 256 KiB widen the
+    heap, changing the boot signature) and restored per point.
     """
     order = [f"coll:{op}:{algo}:{size}" for op, algo, size in specs]
     points = [
@@ -441,7 +507,8 @@ def run_collectives_sweep_parallel(
             key=f"coll:{op}:{algo}:{size}",
             fn=collective_point,
             args=(op, algo, size),
-            kwargs={"shape": tuple(shape), "flow_fidelity": flow_fidelity},
+            kwargs={"shape": tuple(shape), "flow_fidelity": flow_fidelity,
+                    "use_image": use_image},
         )
         for op, algo, size in specs
     ]
@@ -458,7 +525,18 @@ def run_collectives_sweep_parallel(
             for op, algo, size in specs
         )
     points.sort(key=lambda p: p.args[2], reverse=True)
-    by_key = _run_points(points, order, jobs, timeout)
+    images = None
+    if use_image:
+        from ..cluster.snapshot import image_for
+        from ..topology import torus2d
+
+        seen = {}
+        for _op, _algo, sz in specs:
+            cfg = _collective_cfg(sz)
+            seen.setdefault(cfg, torus2d(*shape))
+        images = [image_for(topo, msg_cfg=cfg)
+                  for cfg, topo in seen.items()]
+    by_key = _run_points(points, order, jobs, timeout, images=images)
     return [by_key[k] for k in order]
 
 

@@ -125,6 +125,7 @@ class TCCluster:
         link_ber: float = 0.0,
         skew_tolerance_ns: float = 100.0,
         sim: Optional[Simulator] = None,
+        amap: Optional[GlobalAddressMap] = None,
     ):
         self.sim = sim or Simulator()
         self.topology = topology
@@ -144,11 +145,13 @@ class TCCluster:
         if layout.num_chips != nodes_per_supernode:
             raise ClusterError("layout chip count mismatch")
 
-        spec = SupernodeSpec(tuple(NodeSpec(memory_bytes)
-                                   for _ in range(nodes_per_supernode)))
-        self.amap: GlobalAddressMap = assign_addresses(
-            topology, [spec] * topology.num_supernodes
-        )
+        # Address assignment is deterministic in (topology, specs); a
+        # boot image carries the computed map so restore skips it.
+        if amap is None:
+            spec = SupernodeSpec(tuple(NodeSpec(memory_bytes)
+                                       for _ in range(nodes_per_supernode)))
+            amap = assign_addresses(topology, [spec] * topology.num_supernodes)
+        self.amap: GlobalAddressMap = amap
 
         # Boards.
         self.boards: List[Board] = [
@@ -244,6 +247,23 @@ class TCCluster:
         self.sim.run_until_event(self.sim.all_of(k_procs))
         self.ready = True
         return self
+
+    # ------------------------------------------------------------------
+    # Boot-image snapshot/restore (see repro.cluster.snapshot)
+    # ------------------------------------------------------------------
+    def capture_image(self):
+        """Snapshot this freshly booted cluster into a
+        :class:`~repro.cluster.snapshot.BootImage` (see that module for
+        the quiescence precondition and bit-exactness argument)."""
+        from .snapshot import capture_image
+        return capture_image(self)
+
+    @classmethod
+    def from_image(cls, image, sim: Optional[Simulator] = None) -> "TCCluster":
+        """A booted cluster restored from ``image`` -- no boot protocol
+        simulation; bit-exact vs a cold boot of the same signature."""
+        from .snapshot import restore_image
+        return restore_image(image, sim=sim)
 
     # ------------------------------------------------------------------
     def spawn_process(self, rank: int, name: Optional[str] = None,

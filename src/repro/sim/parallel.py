@@ -25,6 +25,17 @@ bare ``BrokenProcessPool`` traceback.
 Job-count resolution (:func:`resolve_jobs`): an explicit ``--jobs``
 value wins; otherwise the ``TCC_PARALLEL`` environment variable;
 otherwise 1 (serial).  ``0`` or ``"auto"`` selects ``os.cpu_count()``.
+
+Worker-local shared state: point functions used to re-construct
+*everything* per task -- including state identical across points, like a
+boot image of the common topology.  ``run_sweep(worker_state=...,
+worker_init=...)`` ships one picklable value to each worker **once** (at
+pool spin-up, not per task) and runs ``worker_init(state)`` there;
+points read it back via :func:`current_worker_state`.  The serial path
+installs the same state inline so ``jobs=1`` stays bit-identical.  The
+boot-image layer (:mod:`repro.cluster.snapshot`) uses this to seed each
+worker's image cache with the parent's pre-booted images, so a sweep
+boots each distinct signature once instead of once per point.
 """
 
 from __future__ import annotations
@@ -46,10 +57,30 @@ __all__ = [
     "merge_snapshots",
     "resolve_jobs",
     "usable_cpus",
+    "current_worker_state",
 ]
 
 #: Environment variable consulted by :func:`resolve_jobs`.
 JOBS_ENV = "TCC_PARALLEL"
+
+#: Per-process shared state installed by ``run_sweep(worker_state=...)``
+#: (in pool workers via the initializer; in the serial path inline).
+_WORKER_STATE: Any = None
+
+
+def current_worker_state() -> Any:
+    """The sweep-shared state of this process (None outside a sweep)."""
+    return _WORKER_STATE
+
+
+def _init_worker(state: Any, init: Optional[Callable[[Any], None]]) -> None:
+    """Pool-worker initializer: runs once per worker process, not per
+    task -- the hoisting point for per-signature setup shared by every
+    point this worker will execute."""
+    global _WORKER_STATE
+    _WORKER_STATE = state
+    if init is not None:
+        init(state)
 
 
 class SweepError(RuntimeError):
@@ -246,6 +277,8 @@ def run_sweep(
     jobs: Optional[Any] = None,
     timeout: Optional[float] = None,
     strict: bool = True,
+    worker_state: Any = None,
+    worker_init: Optional[Callable[[Any], None]] = None,
 ) -> SweepReport:
     """Execute ``points``, fanning out across ``jobs`` worker processes.
 
@@ -255,6 +288,12 @@ def run_sweep(
     on expiry the pending points are surfaced by key.  With ``strict``
     (default) any failed point raises :class:`SweepError` after all
     gathered results are attached to the exception.
+
+    ``worker_state`` (picklable) is installed once per worker process
+    before any point runs -- readable via :func:`current_worker_state` --
+    and ``worker_init(worker_state)`` runs there once (e.g. to seed a
+    boot-image cache).  The serial path installs/initializes the same
+    state inline, restoring the previous state afterwards.
     """
     points = list(points)
     keys = [p.key for p in points]
@@ -265,7 +304,13 @@ def run_sweep(
     t0 = time.perf_counter()
 
     if njobs <= 1 or len(points) <= 1:
-        results = [_execute_point(p) for p in points]
+        global _WORKER_STATE
+        prev_state = _WORKER_STATE
+        _init_worker(worker_state, worker_init)
+        try:
+            results = [_execute_point(p) for p in points]
+        finally:
+            _WORKER_STATE = prev_state
         wall = time.perf_counter() - t0
         report = SweepReport(results, jobs=1, wall_s=wall,
                              worker_stats=_worker_stats(results))
@@ -280,7 +325,9 @@ def run_sweep(
 
     results_by_key: Dict[str, PointResult] = {}
     deadline = None if timeout is None else t0 + timeout
-    with ProcessPoolExecutor(max_workers=min(njobs, len(points))) as pool:
+    with ProcessPoolExecutor(max_workers=min(njobs, len(points)),
+                             initializer=_init_worker,
+                             initargs=(worker_state, worker_init)) as pool:
         fut_to_point = {pool.submit(_execute_point, p): p for p in points}
         pending = set(fut_to_point)
         while pending:

@@ -1,0 +1,41 @@
+"""Shared fixtures: session-scoped boot images, opt-in per test.
+
+A test that only needs *a booted system* (not the boot protocol itself)
+can take one of the ``restored_*`` fixtures and get a fresh system
+restored from a session-cached :class:`~repro.cluster.snapshot.BootImage`
+-- bit-exact vs a cold boot (tests/test_boot_image.py is the oracle),
+without paying the boot simulation per test.  Tests that exercise boot,
+firmware, link training or enumeration keep cold-booting.
+"""
+
+import pytest
+
+from helpers import cached_boot_image
+
+
+@pytest.fixture(scope="session")
+def proto2_boot_image():
+    """Boot image of the paper's two-board prototype (4 ranks)."""
+    return cached_boot_image("proto2")
+
+
+@pytest.fixture(scope="session")
+def mesh_boot_image():
+    """Boot image of a small 2x2 blade mesh (4 supernodes)."""
+    return cached_boot_image("mesh2x2")
+
+
+@pytest.fixture
+def restored_prototype(proto2_boot_image):
+    """A fresh booted prototype system, restored (not cold-booted)."""
+    from repro.core import TCClusterSystem
+
+    return TCClusterSystem.from_image(proto2_boot_image)
+
+
+@pytest.fixture
+def restored_mesh(mesh_boot_image):
+    """A fresh booted 2x2 mesh system, restored (not cold-booted)."""
+    from repro.core import TCClusterSystem
+
+    return TCClusterSystem.from_image(mesh_boot_image)
