@@ -43,11 +43,13 @@ __all__ = [
     "collective_point",
     "nic_collective_point",
     "CollectivePoint",
+    "recovery_point",
     "run_bandwidth_sweep_parallel",
     "run_multihop_parallel",
     "run_coherence_scaling_parallel",
     "run_torus_sweep_parallel",
     "run_collectives_sweep_parallel",
+    "run_recovery_sweep_parallel",
 ]
 
 #: Socket bindings per extra-hop count, as in ``run_multihop``.
@@ -537,6 +539,37 @@ def run_collectives_sweep_parallel(
         images = [image_for(topo, msg_cfg=cfg)
                   for cfg, topo in seen.items()]
     by_key = _run_points(points, order, jobs, timeout, images=images)
+    return [by_key[k] for k in order]
+
+
+def recovery_point(**kwargs):
+    """One end-to-end recovery scenario (fresh booted cluster per call;
+    see :func:`repro.bench.recovery.run_recovery_scenario`)."""
+    from .recovery import run_recovery_scenario
+
+    return run_recovery_scenario(**kwargs)
+
+
+def run_recovery_sweep_parallel(
+    specs: Sequence[Tuple[str, dict]],
+    jobs: Optional[Any] = None,
+    timeout: Optional[float] = None,
+) -> List[Any]:
+    """Recovery-figure sweep, one fresh cluster per point, pool fan-out.
+
+    ``specs`` is ``[(key, scenario_kwargs), ...]`` (see
+    ``repro.bench.recovery.RECOVERY_FIGURE_SPECS``); output order matches
+    the spec order.  The longest outages (biggest ``duration_ns``) are
+    scheduled first so they do not straggle at the tail of the pool.
+    """
+    order = [key for key, _ in specs]
+    points = [
+        SweepPoint(key=key, fn=recovery_point, args=(), kwargs=dict(kw))
+        for key, kw in specs
+    ]
+    points.sort(key=lambda p: p.kwargs.get("duration_ns", 0.0),
+                reverse=True)
+    by_key = _run_points(points, order, jobs, timeout)
     return [by_key[k] for k in order]
 
 

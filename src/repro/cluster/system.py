@@ -298,14 +298,29 @@ class TCCluster:
     def crash_node(self, rank: int) -> None:
         """Hard-stop ``rank``'s chip: every HT port (coherent, TCC and
         southbridge alike) drops at once, NAK'ing in-flight packets back
-        to their senders.  The node stays down until
-        :meth:`rejoin_node` warm-resets it back in."""
+        to their senders, and all volatile on-chip state is lost --
+        cached line copies, open write-combining buffers, queued posted
+        writes and the message library's unacknowledged retransmit
+        images (DESIGN.md section 15's lost-state model).  Local DRAM,
+        and with it the msglib rings and feedback lines, survives.  The
+        node stays down until :meth:`rejoin_node` warm-resets it back
+        in; reliable endpoints then resynchronize through the in-band
+        session handshake on their next send."""
         self._require_ready()
         info = self.ranks[rank]
         for binding in info.chip.ports.values():
             if binding.link.state != LinkState.DOWN:
                 binding.link.bring_down()
-        fault_counters(self.sim).node_crashes += 1
+        fc = fault_counters(self.sim)
+        lines, wc_bytes, posted = info.chip.discard_volatile_state()
+        fc.crash_lines_discarded += lines
+        fc.crash_wc_bytes_discarded += wc_bytes
+        fc.crash_packets_discarded += posted
+        lib = self._libs.get(rank)
+        if lib is not None:
+            for ep in lib.endpoints():
+                fc.crash_slots_discarded += ep.crash_discard()
+        fc.node_crashes += 1
 
     def rejoin_node(self, rank: int):
         """Warm-reset rejoin of a crashed ``rank`` (a sim process).

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 from ..ht.link import Link
 from ..ht.linkinit import LinkInitFSM
 from ..obs.metrics import fault_counters
-from .plan import FaultEvent, FaultKind, FaultPlan, FaultPlanError
+from .plan import LINK_KINDS, FaultEvent, FaultKind, FaultPlan, FaultPlanError
 from .routes import RouteManager
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,22 +42,101 @@ class FaultInjector:
         self.cluster = cluster
         self.sim = cluster.sim
         self.plan = plan
-        self.routes = route_manager or RouteManager(cluster)
+        self.routes = route_manager or RouteManager(cluster, pressure_flood=True)
         #: ``(fire_time_ns, event)`` log of everything actually injected.
         self.fired: List[Tuple[float, FaultEvent]] = []
+        #: ``(event, reason)`` log of plan conflicts dropped by
+        #: ``arm(on_conflict="skip")``.
+        self.skipped: List[Tuple[FaultEvent, str]] = []
 
     # ------------------------------------------------------------------
-    def arm(self) -> int:
+    def validate(self) -> List[Tuple[FaultEvent, str]]:
+        """Dry-run the plan against this cluster's populations.
+
+        Walks the events in firing order, tracking which links are
+        permanently killed and which ranks are crashed-but-not-yet
+        -rejoined, and flags every event aimed at a target that is
+        already scheduled dead at its firing time: killing a dead link,
+        crashing a crashed node, or flapping/stalling/storming a link
+        whose owner rank is down (a flap's delayed retrain would
+        resurrect a crashed node's link mid-outage).  Returns
+        ``[(event, reason), ...]`` -- empty for a conflict-free plan.
+        """
+        conflicts: List[Tuple[FaultEvent, str]] = []
+        dead_links: set = set()
+        down_ranks: set = set()
+        chip_rank = {
+            id(info.chip): r
+            for r, info in enumerate(getattr(self.cluster, "ranks", []))
+        }
+        for ev in self.plan.sorted_events():
+            if ev.kind in LINK_KINDS:
+                link = self._link_of(ev)
+                if id(link) in dead_links:
+                    conflicts.append(
+                        (ev, f"link {link.name} was already killed"))
+                    continue
+                crashed_owner = None
+                for chip in getattr(link, "attached", {}).values():
+                    r = chip_rank.get(id(chip))
+                    if r is not None and r in down_ranks:
+                        crashed_owner = r
+                        break
+                if crashed_owner is not None:
+                    conflicts.append(
+                        (ev, f"link {link.name} belongs to crashed rank "
+                             f"{crashed_owner}"))
+                    continue
+                if ev.kind is FaultKind.LINK_KILL:
+                    dead_links.add(id(link))
+            elif ev.kind is FaultKind.NODE_CRASH:
+                rank = self._rank_of(ev)
+                if rank in down_ranks:
+                    conflicts.append((ev, f"rank {rank} is already crashed"))
+                    continue
+                down_ranks.add(rank)
+            elif ev.kind is FaultKind.NODE_WARM_RESET:
+                down_ranks.discard(self._rank_of(ev))
+        return conflicts
+
+    # ------------------------------------------------------------------
+    def arm(self, on_conflict: str = "raise") -> int:
         """Schedule every plan event, ``at_ns`` relative to *now*.
 
         Plans are armed after boot, whose duration depends on topology
         and timing model -- relative offsets keep one plan meaningful
         across clusters.  Returns the number of events armed.
+
+        The plan is validated up front (see :meth:`validate`): an event
+        targeting a node or link already scheduled dead at its firing
+        time used to surface much later as an opaque mid-recovery
+        failure.  ``on_conflict="raise"`` (default) rejects such plans
+        with :class:`FaultPlanError` before anything touches the
+        calendar; ``"skip"`` drops the conflicting events
+        deterministically, recording them in :attr:`skipped` -- the
+        right mode for randomly drawn plans, which may legally collide.
         """
+        if on_conflict not in ("raise", "skip"):
+            raise ValueError(f"on_conflict must be 'raise' or 'skip', "
+                             f"got {on_conflict!r}")
+        conflicts = self.validate()
+        if conflicts and on_conflict == "raise":
+            ev, why = conflicts[0]
+            raise FaultPlanError(
+                f"fault plan conflict at t={ev.at_ns:.0f}ns: "
+                f"{ev.kind.name} target {ev.target} -- {why} "
+                f"({len(conflicts)} conflicting event(s); "
+                f"arm(on_conflict='skip') drops them)")
+        self.skipped = conflicts
+        dropped = {id(ev) for ev, _ in conflicts}
         sim = self.sim
+        armed = 0
         for ev in self.plan.sorted_events():
+            if id(ev) in dropped:
+                continue
             sim.schedule(ev.at_ns, self._fire, ev)
-        return len(self.plan)
+            armed += 1
+        return armed
 
     # ------------------------------------------------------------------
     def _link_of(self, ev: FaultEvent) -> Link:

@@ -49,13 +49,22 @@ class RouteManager:
     :meth:`route_around` calls, so successive kills compose.
     """
 
-    def __init__(self, cluster: "TCCluster"):
+    def __init__(self, cluster: "TCCluster", pressure_flood: bool = False):
         self.cluster = cluster
         self.sim = cluster.sim
         #: Edges removed from routing so far (parallel to killed links).
         self.dead_edges: List[TccEdge] = []
         #: (src, dst) supernode pairs with no surviving path.
         self.unreachable: List[Tuple[int, int]] = []
+        #: Register-pressure policy: ``False`` raises :class:`RouteError`
+        #: when a supernode's post-fault map exceeds the 16 MMIO pairs
+        #: (the analytical mode -- callers want the hard verdict);
+        #: ``True`` degrades that supernode to the sync-flood path
+        #: instead -- windows disabled, fatal vector broadcast -- so a
+        #: mid-recovery overflow cannot wedge a chaos run half-programmed.
+        self.pressure_flood = pressure_flood
+        #: Supernodes degraded by register pressure (flood mode).
+        self.pressure_flooded: List[int] = []
 
     # ------------------------------------------------------------------
     def _edge_of(self, link: Link) -> TccEdge:
@@ -114,12 +123,30 @@ class RouteManager:
                     topo, ranges, s, exclude=self.dead_edges).items():
                 for b, l in rs:
                     mmio.append(MmioDirective(b, l, exit_node, exit_port))
-            if len(mmio) > NUM_MMIO_ENTRIES:
-                raise RouteError(
-                    f"supernode {s}: post-fault routing needs {len(mmio)} "
-                    f"MMIO intervals, registers hold {NUM_MMIO_ENTRIES}"
-                )
             board = cluster.boards[s]
+            if len(mmio) > NUM_MMIO_ENTRIES:
+                if not self.pressure_flood:
+                    raise RouteError(
+                        f"supernode {s}: post-fault routing needs {len(mmio)} "
+                        f"MMIO intervals, registers hold {NUM_MMIO_ENTRIES}"
+                    )
+                # Register pressure: the post-fault map cannot be
+                # expressed in 16 pairs.  A half-programmed window set
+                # would silently misroute, so degrade the whole
+                # supernode deterministically: every window disabled
+                # (outbound TCC traffic fails typed via the unmapped
+                # route) and the fatal vector broadcast once -- the
+                # sync-flood a real fabric raises on an unrecoverable
+                # routing fault.
+                for chip in board.chips:
+                    for i in range(NUM_MMIO_ENTRIES):
+                        chip.mmio_pair(i).disable()
+                if s not in self.pressure_flooded:
+                    self.pressure_flooded.append(s)
+                    board.bsp.send_interrupt(FATAL_ROUTE_VECTOR)
+                    fc.fatal_broadcasts += 1
+                    fc.pressure_floods += 1
+                continue
             enum = cluster.reports[s].enumeration
             for chip in board.chips:
                 for i in range(NUM_MMIO_ENTRIES):

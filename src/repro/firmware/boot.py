@@ -298,6 +298,14 @@ class TCClusterFirmware:
         links are skipped; they stay routed-around.
         """
         chip = self.board.chips[chip_index]
+        # Crash-consistency: write-combining buffers are not preserved
+        # across a reset, so any residue is dropped before the links come
+        # back -- pre-crash bytes leaking through a warm rejoin is
+        # exactly the hole the lost-state model closes.  Normally a no-op
+        # because ``crash_node`` already discarded the chip's volatile
+        # state when the node went down.
+        for core in chip.cores:
+            core.wc.discard()
         events = []
         for binding in chip.ports.values():
             link = binding.link

@@ -33,7 +33,28 @@ from ..sim import CreditPool, Event, Gate, Resource, Simulator, Store, Tracer, N
 from ..util.calibration import TimingModel, DEFAULT_TIMING
 from .packet import Packet, VirtualChannel
 
-__all__ = ["Link", "LinkSide", "LinkState", "LinkDownError", "LinkStats"]
+__all__ = ["Link", "LinkSide", "LinkState", "LinkDownError", "LinkStats",
+           "FAIL_DOWN_THRESHOLD_DEFAULT", "FAIL_DOWN_BER_RELIEF"]
+
+#: Signal-integrity margin recovered per fail-down step: each narrowing
+#: (or lane-rate halving) multiplies the effective per-packet error
+#: probability by this factor.  The cable-BER model behind the paper's
+#: "signal integrity issues of our cable based approach" -- backing off
+#: the rate buys eye margin.
+FAIL_DOWN_BER_RELIEF = 0.25
+
+#: Calibrated default for :attr:`Link.fail_down_threshold` -- consecutive
+#: retry-exhaustion drops before the link sheds width.  Chosen by the
+#: retry-storm calibration sweep (``repro.bench.recovery.
+#: run_fail_down_calibration``; grid and scores in
+#: ``BENCH_reliability.json``): once a drop is priced at its end-to-end
+#: cost (the message layer recovers it through a ~100us retransmit
+#: backoff), every drop avoided by narrowing early outweighs the
+#: stranded-width tail until the next retrain, so the sweep's optimum is
+#: to fail down on the *first* exhaustion.  Reaching it at all takes
+#: ``max_retries`` consecutive CRC failures, so realistic error rates
+#: never trigger it and the fault-free data path is unchanged.
+FAIL_DOWN_THRESHOLD_DEFAULT = 1
 
 
 class LinkDownError(RuntimeError):
@@ -219,7 +240,8 @@ class _Direction:
                     # the (lazily computed, cached) wire CRC; timing and
                     # the retry draw below do not depend on its value.
                     _ = pkt.crc32
-                while link.ber > 0 and link._rng.random() < link.ber:
+                while link.ber > 0 and (
+                        link._rng.random() < link.ber * link._ber_derate):
                     # HT3 retry: CRC failure detected, NAK + retransmission
                     # costs another serialization window plus turnaround.
                     yield ser + link.retry_turnaround_ns
@@ -437,11 +459,22 @@ class Link:
         self.dead = False
         #: After this many *consecutive* retry-exhaustion drops, fail
         #: down to a narrower width / lower lane rate instead of keeping
-        #: a hopeless link at full speed.  None (default) disables the
-        #: behaviour entirely -- the fault-free data path is unchanged.
-        self.fail_down_threshold: Optional[int] = None
+        #: a hopeless link at full speed.  The default is calibrated by
+        #: the retry-storm sweep in ``repro.bench.recovery`` (results in
+        #: ``BENCH_reliability.json``); ``None`` disables the behaviour.
+        #: A drop needs ``max_retries`` consecutive CRC failures first,
+        #: so with the stock retry budget the threshold is unreachable
+        #: below catastrophic error rates -- the fault-free (and the
+        #: realistic-BER) data path is unchanged by the default.
+        self.fail_down_threshold: Optional[int] = FAIL_DOWN_THRESHOLD_DEFAULT
         #: Fail-downs performed (narrowings/slowdowns since training).
         self.fail_downs = 0
+        #: Effective-BER multiplier from fail-downs: a narrower/slower
+        #: link has more signal-integrity margin, so each fail-down step
+        #: multiplies the error probability the retry loop draws against
+        #: by :data:`FAIL_DOWN_BER_RELIEF`.  A full retrain re-equalizes
+        #: the link at the programmed rate and resets it to 1.0.
+        self._ber_derate = 1.0
         self._dirs: Dict[str, _Direction] = {
             side: _Direction(self, side) for side in (LinkSide.A, LinkSide.B)
         }
@@ -563,16 +596,24 @@ class Link:
         the minimum 2-bit width) after repeated retry exhaustion -- the
         HT-style response to a persistently bad cable.  The programmed
         (pending) rate in the init FSM personas is untouched, so a later
-        full retrain restores full speed."""
+        full retrain restores full speed (and resets the margin relief
+        -- the throughput-vs-width hysteresis the calibration bench in
+        :mod:`repro.bench.recovery` measures)."""
+        derate = self._ber_derate * FAIL_DOWN_BER_RELIEF
         if self.width_bits > 2:
             self.set_rate(self.width_bits // 2, self.gbit_per_lane)
         else:
             self.set_rate(self.width_bits, max(self.gbit_per_lane / 2.0, 0.1))
+        self._ber_derate = derate
         self.fail_downs += 1
         fault_counters(self.sim).link_fail_downs += 1
 
     def set_rate(self, width_bits: int, gbit_per_lane: float) -> None:
-        """Apply trained width/frequency (takes effect immediately)."""
+        """Apply trained width/frequency (takes effect immediately).
+
+        Any accumulated fail-down margin relief is cleared: training
+        re-equalizes the link, so the raw channel error rate applies
+        again at the newly trained speed."""
         if width_bits not in (2, 4, 8, 16, 32):
             raise ValueError(f"illegal link width {width_bits}")
         if gbit_per_lane <= 0:
@@ -581,6 +622,7 @@ class Link:
         self.width_bits = width_bits
         self.gbit_per_lane = gbit_per_lane
         self._rate = width_bits * gbit_per_lane / 8.0
+        self._ber_derate = 1.0
 
     # -- adaptive fidelity ------------------------------------------------
     @property

@@ -3,21 +3,31 @@
 from .config import (
     MsgConfig,
     RegionLayout,
+    HELLO_MARKER,
     RENDEZVOUS_MARKER,
     SLOT_BYTES,
     SLOT_HEADER,
     SLOT_PAYLOAD,
 )
-from .endpoint import Endpoint, EndpointStats, MessageError, TransportError
+from .endpoint import (
+    Endpoint,
+    EndpointStats,
+    MessageError,
+    SessionReset,
+    TransportError,
+)
 from .library import MessageLibrary
 from .onesided import OneSidedRegion
 from .slots import (
     pack_feedback,
+    pack_hello,
     pack_rendezvous_control,
     pack_slot,
     slots_needed,
     unpack_feedback,
+    unpack_feedback_epoch,
     unpack_header,
+    unpack_hello,
     unpack_payload,
     unpack_rendezvous_control,
 )
@@ -32,17 +42,22 @@ __all__ = [
     "EndpointStats",
     "MessageError",
     "TransportError",
+    "SessionReset",
     "ClusterBarrier",
     "SLOT_BYTES",
     "SLOT_HEADER",
     "SLOT_PAYLOAD",
     "RENDEZVOUS_MARKER",
+    "HELLO_MARKER",
     "pack_slot",
     "unpack_header",
     "unpack_payload",
     "pack_rendezvous_control",
     "unpack_rendezvous_control",
+    "pack_hello",
+    "unpack_hello",
     "pack_feedback",
     "unpack_feedback",
+    "unpack_feedback_epoch",
     "slots_needed",
 ]

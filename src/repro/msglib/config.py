@@ -39,6 +39,9 @@ PAGE = 4096
 #: len-field marker for rendezvous control slots.
 RENDEZVOUS_MARKER = 0xFFFF_FFFF
 
+#: len-field marker for session-handshake (HELLO) control slots.
+HELLO_MARKER = 0xFFFF_FFFE
+
 
 def _round_up(x: int, align: int) -> int:
     return (x + align - 1) // align * align
@@ -75,6 +78,16 @@ class MsgConfig:
     #: First retransmit backoff while waiting for acknowledgements;
     #: doubles after every retransmission round (exponential backoff).
     retransmit_base_ns: float = 50_000.0
+    #: In-band session handshake: when a reliable endpoint finds its peer
+    #: declared dead, ``send()`` runs an epoch-numbered HELLO/HELLO-ACK
+    #: exchange over the ring instead of raising immediately, resyncing
+    #: both sides' cursors and resuming.  Inert while no fault has ever
+    #: declared a peer dead, so the fault-free calendar is unchanged.
+    session_handshake: bool = True
+    #: Deadline for one HELLO/HELLO-ACK round trip before the reconnect
+    #: attempt is abandoned with :class:`SessionReset` (falls back to
+    #: ``send_deadline_ns`` when unset).
+    reconnect_deadline_ns: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.ring_bytes % SLOT_BYTES or self.ring_bytes < 4 * SLOT_BYTES:
@@ -95,6 +108,8 @@ class MsgConfig:
             raise ValueError("recv_deadline_ns must be positive (or None)")
         if self.retransmit_base_ns <= 0:
             raise ValueError("retransmit_base_ns must be positive")
+        if self.reconnect_deadline_ns is not None and self.reconnect_deadline_ns <= 0:
+            raise ValueError("reconnect_deadline_ns must be positive (or None)")
 
     @property
     def nslots(self) -> int:

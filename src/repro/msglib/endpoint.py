@@ -26,6 +26,7 @@ All public methods are generators driven inside a simulation process.
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
@@ -33,14 +34,17 @@ from ..ht.link import LinkDownError
 from ..obs.metrics import fault_counters, flow_counters, metrics_for
 from ..sim.flows import plan_eager_span
 from ..util.units import CACHELINE
-from .config import RENDEZVOUS_MARKER, SLOT_BYTES, SLOT_PAYLOAD
+from .config import HELLO_MARKER, RENDEZVOUS_MARKER, SLOT_BYTES, SLOT_PAYLOAD
 from .slots import (
     pack_feedback,
+    pack_hello,
     pack_rendezvous_control,
     pack_slot,
     slots_needed,
     unpack_feedback,
+    unpack_feedback_epoch,
     unpack_header,
+    unpack_hello,
     unpack_payload,
     unpack_rendezvous_control,
 )
@@ -48,7 +52,8 @@ from .slots import (
 if TYPE_CHECKING:  # pragma: no cover
     from .library import MessageLibrary
 
-__all__ = ["Endpoint", "EndpointStats", "MessageError", "TransportError"]
+__all__ = ["Endpoint", "EndpointStats", "MessageError", "TransportError",
+           "SessionReset"]
 
 
 class MessageError(RuntimeError):
@@ -58,8 +63,20 @@ class MessageError(RuntimeError):
 class TransportError(MessageError):
     """The transport gave up: a send/recv deadline expired or the path to
     the peer died (link down with no reroute).  The peer is declared dead
-    on send-side failures; :meth:`Endpoint.revive` clears the verdict
-    after the peer rejoins."""
+    on send-side failures; the in-band session handshake (or a manual,
+    deprecated :meth:`Endpoint.revive`) clears the verdict after the peer
+    rejoins."""
+
+
+class SessionReset(TransportError):
+    """The session with the peer was reset by the reconnect handshake.
+
+    Raised in two places: by ``send()`` when a reconnect attempt did not
+    complete within the reconnect deadline (the peer is still gone), and
+    by ``recv()`` when an incoming HELLO announced a fresh epoch while
+    this side still held unacknowledged in-flight state -- that state
+    was dropped and the caller must treat the affected messages as lost.
+    The session itself is resynchronized; subsequent sends resume."""
 
 
 class EndpointStats:
@@ -75,12 +92,18 @@ class EndpointStats:
         self.max_inflight_slots = 0
         self.polls = 0
         self.feedback_writes = 0
+        #: Post-delivery feedback writes swallowed because the link was
+        #: down; the idle keepalive republishes the line later.
+        self.feedback_deferred = 0
         #: Doorbell wakeups while parked (poll-parking fast path).
         self.park_wakes = 0
         #: Reliable-send retransmission rounds (slot images rewritten).
         self.retransmits = 0
         #: Sends/recvs that raised :class:`TransportError` on a deadline.
         self.msgs_expired = 0
+        #: Completed session resets (epoch handshakes) on this endpoint,
+        #: counting both initiated and HELLO-absorbed resets.
+        self.session_resets = 0
 
     def as_dict(self) -> dict:
         return dict(vars(self))
@@ -133,6 +156,12 @@ class Endpoint:
         self._send_deadline: Optional[float] = None
         self._rtx_next = 0.0
         self._rtx_backoff = 0.0
+        #: Session epoch of the reconnect handshake; 0 until the first
+        #: reset.  Bumped by :meth:`_reconnect`, adopted from incoming
+        #: HELLO control slots, echoed on every feedback write.
+        self.session_epoch = 0
+        #: Sim time of the last feedback-line write (ack keepalive clock).
+        self._fb_last_ns = -math.inf
         #: Reliability configured (either deadline set): the receive path
         #: acks every message eagerly so a deadline-guarded sender's
         #: `_await_acked` converges even when the receiver then goes
@@ -189,10 +218,17 @@ class Endpoint:
         if mode not in ("weak", "strict"):
             raise MessageError(f"unknown ordering mode {mode!r}")
         if self.peer_dead:
-            raise TransportError(
-                f"rank {self.me}: peer rank {self.peer} is declared dead "
-                "(revive() after it rejoins)"
-            )
+            if self.cfg.session_handshake and self._reliable:
+                # In-band reconnect: resync cursors via HELLO/HELLO-ACK,
+                # then fall through and transmit normally.  Raises
+                # SessionReset when the peer is still unresponsive.
+                yield from self._reconnect()
+            else:
+                raise TransportError(
+                    f"rank {self.me}: peer rank {self.peer} is declared "
+                    "dead (session handshake disabled; revive() after it "
+                    "rejoins)"
+                )
         if self._m.enabled:
             # End-to-end latency clock starts before the library overhead,
             # matching what an application-level timer would see.
@@ -394,11 +430,107 @@ class Endpoint:
         return TransportError(f"rank {self.me} -> rank {self.peer}: {why}")
 
     def revive(self) -> None:
-        """Clear a peer-dead verdict after the peer rejoined (node warm
-        reset).  Sequence/ack state is kept: DRAM survives a warm reset,
-        so both sides resume the ring exactly where they left off."""
+        """Clear a peer-dead verdict manually after the peer rejoined.
+
+        .. deprecated::
+            The in-band session handshake (``MsgConfig.session_handshake``,
+            on by default for reliable endpoints) resynchronizes
+            automatically on the next ``send()`` after the peer rejoins;
+            manual revival is only needed by endpoints that opted out.
+            Unlike the handshake, ``revive`` keeps the sequence/ack
+            cursors, assuming both sides' DRAM survived a warm reset.
+        """
+        warnings.warn(
+            "Endpoint.revive() is deprecated: the session handshake "
+            "(MsgConfig.session_handshake) resynchronizes automatically",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.peer_dead = False
         self._unacked.clear()
+
+    def crash_discard(self) -> int:
+        """Model this endpoint's volatile state being lost in a node
+        crash: the unacknowledged retransmit images (cache/register
+        copies, not DRAM) are dropped and the session is declared broken
+        so the next reliable ``send()`` runs the reconnect handshake.
+        Returns the number of slot images discarded."""
+        lost = len(self._unacked)
+        self._unacked.clear()
+        self.peer_dead = True
+        return lost
+
+    def _reconnect(self):
+        """In-band session reconnect: epoch-numbered HELLO/HELLO-ACK.
+
+        The feedback line the peer writes into my memory is a monotonic
+        record of what it actually consumed, so it survives my crash and
+        the peer's crash alike (DRAM endures a warm reset).  Reconnect
+        realigns my transmit cursors to it -- dropping stale unacked
+        retransmit images deterministically -- then writes a HELLO
+        control slot carrying a fresh session epoch exactly where the
+        peer polls next, and waits for the peer to echo the epoch on the
+        feedback line (the HELLO-ACK).  Raises :class:`SessionReset`
+        when the echo does not arrive within the reconnect deadline; the
+        attempt is safe to repeat and converges once the peer is back.
+        """
+        t = self.proc.core.chip.timing
+        limit = self.cfg.reconnect_deadline_ns
+        if limit is None:
+            limit = self.cfg.send_deadline_ns
+        if limit is None:
+            limit = 8 * self.cfg.retransmit_base_ns
+        deadline = self.sim.now + limit
+        # Stale retransmit images are worthless across a session reset.
+        self._unacked.clear()
+        try:
+            raw = yield from self.proc.load(self.tx_fb_addr, 24)
+            fb_slots, fb_heap = unpack_feedback(raw)
+            fb_epoch = unpack_feedback_epoch(raw)
+            # Roll the tx cursors onto the peer's authoritative consumption
+            # record: seq space beyond it belonged to in-flight messages
+            # that are lost with the session.
+            self.acked_slots = max(self.acked_slots, fb_slots)
+            self.send_seq = self.acked_slots
+            self.heap_acked = max(self.heap_acked, fb_heap)
+            self.heap_sent = self.heap_acked
+            epoch = max(self.session_epoch, fb_epoch) + 1
+            # My own rx ring may hold the dead session's slot images too;
+            # the peer realigns its tx cursor onto my reported recv_seq
+            # and reuses those sequence numbers, so flush before inviting
+            # it to transmit.
+            yield from self._flush_stale_ring()
+            seq = self.send_seq + 1
+            hello = pack_hello(seq, epoch, self.recv_seq, self.heap_recvd)
+            yield from self.proc.store(self._slot_tx_addr(seq), hello)
+            yield from self.proc.sfence()
+            self.send_seq = seq
+            self.session_epoch = epoch
+            while True:
+                raw = yield from self.proc.load(self.tx_fb_addr, 24)
+                fb_slots, fb_heap = unpack_feedback(raw)
+                fb_epoch = unpack_feedback_epoch(raw)
+                if fb_epoch >= epoch:
+                    self.session_epoch = fb_epoch
+                    self.acked_slots = max(self.acked_slots, fb_slots)
+                    self.send_seq = max(self.send_seq, self.acked_slots)
+                    self.heap_acked = max(self.heap_acked, fb_heap)
+                    self.heap_sent = max(self.heap_sent, self.heap_acked)
+                    self.peer_dead = False
+                    self.stats.session_resets += 1
+                    fault_counters(self.sim).session_resets += 1
+                    return
+                if self.sim.now >= deadline:
+                    raise SessionReset(
+                        f"rank {self.me} -> rank {self.peer}: no HELLO-ACK "
+                        f"within the reconnect deadline (epoch {epoch})"
+                    )
+                yield t.poll_iteration_ns
+        except LinkDownError as exc:
+            raise SessionReset(
+                f"rank {self.me} -> rank {self.peer}: peer unreachable "
+                f"during reconnect ({exc})"
+            ) from exc
 
     def _reliability_tick(self):
         """One watchdog step of a deadline-guarded send, shared by every
@@ -415,6 +547,8 @@ class Endpoint:
                 f"send deadline ({self.acked_slots}/{self.send_seq} slots acked)"
             )
         if self._unacked and now >= self._rtx_next:
+            # The backoff interval that just elapsed waiting for an ack.
+            fault_counters(self.sim).backoff_ns_total += int(self._rtx_backoff)
             self._rtx_backoff *= 2.0
             self._rtx_next = now + self._rtx_backoff
             yield from self._retransmit_unacked()
@@ -469,21 +603,30 @@ class Endpoint:
         limit = deadline_ns if deadline_ns is not None else self.cfg.recv_deadline_ns
         deadline = self.sim.now + limit if limit is not None else None
         try:
-            raw = yield from self._poll_slot(self.recv_seq + 1, deadline)
-            seq, length = unpack_header(raw)
-            if length == RENDEZVOUS_MARKER:
-                offset, plen, heap_end = unpack_rendezvous_control(raw)
-                data = yield from self._bulk_read(self.rx_heap_addr + offset, plen)
-                self.recv_seq += 1
-                self.heap_recvd = heap_end
-                yield from self._maybe_feedback(force=True)
-            elif slots_needed(length) == 1:
-                data = unpack_payload(raw, length)
-                self.recv_seq += 1
-                yield from self._maybe_feedback(force=self._reliable)
-            else:
-                data = yield from self._recv_multislot(raw, length, deadline)
-                yield from self._maybe_feedback(force=self._reliable)
+            while True:
+                raw = yield from self._poll_slot(self.recv_seq + 1, deadline)
+                seq, length = unpack_header(raw)
+                if length == HELLO_MARKER:
+                    # Session control: absorb and keep polling for a real
+                    # message against the same absolute deadline.
+                    yield from self._handle_hello(raw)
+                    continue
+                if length == RENDEZVOUS_MARKER:
+                    offset, plen, heap_end = unpack_rendezvous_control(raw)
+                    data = yield from self._bulk_read(self.rx_heap_addr + offset, plen)
+                    self.recv_seq += 1
+                    self.heap_recvd = heap_end
+                    yield from self._feedback_after_delivery(force=True)
+                elif slots_needed(length) == 1:
+                    data = unpack_payload(raw, length)
+                    self.recv_seq += 1
+                    yield from self._feedback_after_delivery(
+                        force=self._reliable)
+                else:
+                    data = yield from self._recv_multislot(raw, length, deadline)
+                    yield from self._feedback_after_delivery(
+                        force=self._reliable)
+                break
         except LinkDownError as exc:
             raise self._transport_fail(f"link down while receiving ({exc})") from exc
         yield t.recv_overhead_ns
@@ -496,6 +639,42 @@ class Endpoint:
                 self._m.observe("msglib.message_latency_ns", lat)
                 self._m.observe(self._latency_series, lat)
         return bytes(data)
+
+    def _handle_hello(self, raw: bytes):
+        """Consume a HELLO control slot (peer-initiated session reset).
+
+        Adopts the announced epoch, realigns my *transmit* cursors to the
+        receive cursors the initiator reported (my unacked in-flight
+        state toward it is stale by definition), clears any peer-dead
+        verdict, and answers with an epoch-stamped feedback write -- the
+        HELLO-ACK.  Raises :class:`SessionReset` when in-flight reliable
+        send state had to be dropped, so the sender learns its messages
+        are lost; a duplicate HELLO (stale epoch) is just re-acked.
+        """
+        epoch, peer_recv_seq, peer_heap_recvd = unpack_hello(raw)
+        self.recv_seq += 1
+        fresh = epoch > self.session_epoch
+        stale_unacked = len(self._unacked)
+        if fresh:
+            self.session_epoch = epoch
+            self._unacked.clear()
+            self.acked_slots = max(self.acked_slots, peer_recv_seq)
+            self.send_seq = self.acked_slots
+            self.heap_acked = max(self.heap_acked, peer_heap_recvd)
+            self.heap_sent = self.heap_acked
+            self.peer_dead = False
+            self.stats.session_resets += 1
+            # The dead session's in-flight stores may have landed in my
+            # ring with sequence numbers the realigned initiator will
+            # reuse; flush them before the HELLO-ACK releases new data.
+            yield from self._flush_stale_ring()
+        # HELLO-ACK: unconditionally publish cursors + epoch echo.
+        yield from self._rewrite_feedback()
+        if fresh and stale_unacked:
+            raise SessionReset(
+                f"rank {self.me}: peer rank {self.peer} reset the session "
+                f"(epoch {epoch}); {stale_unacked} in-flight slot(s) dropped"
+            )
 
     def try_recv(self):
         """Non-blocking probe: returns the message or None."""
@@ -550,6 +729,15 @@ class Endpoint:
                 # sender can make progress.
                 flushed_idle_fb = True
                 yield from self._maybe_feedback(force=self._fb_debt() > 0)
+            elif (self._reliable
+                  and (self.recv_seq or self.heap_recvd or self.session_epoch)
+                  and self.sim.now - self._fb_last_ns
+                      >= self.cfg.retransmit_base_ns):
+                # Ack keepalive, the receive-side pair of the sender's
+                # retransmit: a feedback write lost in flight (crashed
+                # northbridge queue) would otherwise leave the sender
+                # retransmitting into a fully-consumed ring forever.
+                yield from self._rewrite_feedback()
             if db is None:
                 yield t.poll_iteration_ns
                 continue
@@ -697,15 +885,56 @@ class Endpoint:
     def _fb_debt(self) -> int:
         return self.recv_seq - self.fb_sent_slots
 
+    def _flush_stale_ring(self):
+        """Zero every rx-ring slot position ahead of ``recv_seq``.
+
+        Across a session reset the transmit cursor realigns *down*, so
+        the fresh epoch reuses sequence numbers the dead session may
+        already have written into my DRAM; a seq-matched stale slot
+        would be consumed as a fresh message and desynchronize the
+        framing.  Posted writes on one VC are FIFO, so by the time the
+        HELLO that triggered the reset is visible every older store has
+        landed -- and new-epoch data only flows after the HELLO-ACK --
+        which makes this flush race-free.
+        """
+        zero = bytes(SLOT_BYTES)
+        for seq in range(self.recv_seq + 1,
+                         self.recv_seq + 1 + self.cfg.nslots):
+            yield from self.proc.store(self._slot_rx_addr(seq), zero)
+        yield from self.proc.sfence()
+
+    def _feedback_after_delivery(self, force: bool = False):
+        """Ack publish for a message that is already extracted and
+        cursor-advanced.  The slot is consumed at this point, so a link
+        failure in the *advisory* feedback write must not destroy the
+        delivered message by failing the whole ``recv()`` -- the write
+        is swallowed and the idle keepalive (or the next delivery)
+        republishes the line once the fabric heals.  Failures before
+        extraction still propagate as :class:`TransportError`."""
+        try:
+            yield from self._maybe_feedback(force=force)
+        except LinkDownError:
+            self.stats.feedback_deferred += 1
+
     def _maybe_feedback(self, force: bool = False):
         if not force and self._fb_debt() < self.cfg.fb_interval_slots:
             return
         if self._fb_debt() == 0 and self.heap_recvd == self.fb_sent_heap:
             return
-        line = pack_feedback(self.recv_seq, self.heap_recvd)
+        yield from self._rewrite_feedback()
+
+    def _rewrite_feedback(self):
+        """Unconditional feedback-line write (cursors + epoch echo).
+
+        Beyond the batched path above this is the ack keepalive and the
+        HELLO-ACK: a feedback write lost in a crashed northbridge queue
+        leaves the sender retransmitting into a ring the receiver already
+        consumed, so reliable receivers republish the line while idle."""
+        line = pack_feedback(self.recv_seq, self.heap_recvd, self.session_epoch)
         yield from self.proc.store(self.rx_fb_addr, line)
         self.fb_sent_slots = self.recv_seq
         self.fb_sent_heap = self.heap_recvd
+        self._fb_last_ns = self.sim.now
         self.stats.feedback_writes += 1
 
     def __repr__(self) -> str:  # pragma: no cover

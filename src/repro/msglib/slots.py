@@ -19,7 +19,13 @@ from __future__ import annotations
 import struct
 from typing import Tuple
 
-from .config import RENDEZVOUS_MARKER, SLOT_BYTES, SLOT_HEADER, SLOT_PAYLOAD
+from .config import (
+    HELLO_MARKER,
+    RENDEZVOUS_MARKER,
+    SLOT_BYTES,
+    SLOT_HEADER,
+    SLOT_PAYLOAD,
+)
 
 __all__ = [
     "pack_slot",
@@ -27,15 +33,21 @@ __all__ = [
     "unpack_payload",
     "pack_rendezvous_control",
     "unpack_rendezvous_control",
+    "pack_hello",
+    "unpack_hello",
     "pack_feedback",
     "unpack_feedback",
+    "unpack_feedback_epoch",
     "slots_needed",
     "RENDEZVOUS_MARKER",
+    "HELLO_MARKER",
 ]
 
 _HDR = struct.Struct("<II")
 _RDZV = struct.Struct("<QQQ")   # heap offset, payload len, heap end cursor
+_HELLO = struct.Struct("<QQQ")  # session epoch, sender's recv_seq, heap_recvd
 _FB = struct.Struct("<QQ")      # slots consumed, heap bytes consumed
+_FB_EPOCH = struct.Struct("<Q")  # session epoch echo at offset 16
 
 
 def slots_needed(msg_len: int) -> int:
@@ -77,10 +89,42 @@ def unpack_rendezvous_control(raw: bytes) -> Tuple[int, int, int]:
     return _RDZV.unpack_from(raw, SLOT_HEADER)
 
 
-def pack_feedback(slots_consumed: int, heap_consumed: int) -> bytes:
-    """The 64-byte acknowledgement line a receiver writes back."""
-    return _FB.pack(slots_consumed, heap_consumed).ljust(SLOT_BYTES, b"\x00")
+def pack_hello(seq: int, epoch: int, recv_seq: int, heap_recvd: int) -> bytes:
+    """A session-control slot announcing a reconnect handshake.
+
+    Carries the initiator's new session epoch plus its *receive* cursors
+    so the peer, as a sender toward the initiator, can resynchronize its
+    transmit state in the same step.
+    """
+    if epoch <= 0:
+        raise ValueError("session epoch must be positive")
+    body = _HELLO.pack(epoch, recv_seq, heap_recvd)
+    return _HDR.pack(seq, HELLO_MARKER) + body.ljust(SLOT_PAYLOAD, b"\x00")
+
+
+def unpack_hello(raw: bytes) -> Tuple[int, int, int]:
+    """(epoch, recv_seq, heap_recvd) from a HELLO control slot."""
+    return _HELLO.unpack_from(raw, SLOT_HEADER)
+
+
+def pack_feedback(slots_consumed: int, heap_consumed: int,
+                  epoch: int = 0) -> bytes:
+    """The 64-byte acknowledgement line a receiver writes back.
+
+    ``epoch`` (offset 16) doubles as the HELLO-ACK: a receiver that has
+    processed a HELLO control slot echoes the adopted session epoch in
+    every subsequent feedback write.  It stays 0 until the first session
+    reset, so the fault-free line image is byte-identical to the legacy
+    two-field format (the tail was zero padding already).
+    """
+    line = _FB.pack(slots_consumed, heap_consumed) + _FB_EPOCH.pack(epoch)
+    return line.ljust(SLOT_BYTES, b"\x00")
 
 
 def unpack_feedback(raw: bytes) -> Tuple[int, int]:
     return _FB.unpack_from(raw, 0)
+
+
+def unpack_feedback_epoch(raw: bytes) -> int:
+    """The session-epoch echo from a feedback line (0 = never reset)."""
+    return _FB_EPOCH.unpack_from(raw, 16)[0]

@@ -271,15 +271,22 @@ class FaultCounters:
         "faults_injected",
         "retrains",
         "retransmits",
+        "backoff_ns_total",
         "reroutes",
         "messages_expired",
+        "session_resets",
         "link_naks",
         "link_fail_downs",
         "packets_dropped",
         "packets_salvaged",
         "fatal_broadcasts",
+        "pressure_floods",
         "node_crashes",
         "node_rejoins",
+        "crash_lines_discarded",
+        "crash_wc_bytes_discarded",
+        "crash_slots_discarded",
+        "crash_packets_discarded",
     )
 
     def __init__(self) -> None:

@@ -143,3 +143,11 @@ class CacheHierarchy:
     def flush_all(self) -> None:
         for level in self.levels:
             level._lines.clear()
+
+    def discard_all(self) -> int:
+        """Drop every cached line copy (hard crash).  The hierarchy is
+        write-through so DRAM stays authoritative -- what is lost is the
+        warm working set, not data.  Returns the line copies dropped."""
+        n = sum(len(level) for level in self.levels)
+        self.flush_all()
+        return n

@@ -18,7 +18,7 @@ The chip also wires register side effects:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..ht.link import Link, LinkSide
 from ..ht.linkinit import LinkInitFSM
@@ -173,6 +173,17 @@ class OpteronChip:
             ev.add_callback(self._make_status_updater(binding))
             events.append(ev)
         return events
+
+    def discard_volatile_state(self) -> Tuple[int, int, int]:
+        """Model a hard crash: drop cached line copies, open
+        write-combining buffers and queued posted writes.  Local DRAM
+        (and with it the msglib rings, heaps and feedback lines)
+        survives; everything on-chip does not.  Returns the
+        ``(cache_lines, wc_bytes, posted_packets)`` discarded."""
+        lines = self.caches.discard_all()
+        wc_bytes = sum(core.wc.discard() for core in self.cores)
+        posted = self.nb.discard_posted()
+        return lines, wc_bytes, posted
 
     def cold_reset(self) -> None:
         """Power-on: registers to reset values, links retrain from scratch."""

@@ -604,6 +604,21 @@ class Northbridge:
                     b.link.send(b.side, pkt)
                     self.counters.inc("broadcasts_forwarded")
 
+    def discard_posted(self) -> int:
+        """Drop every posted write buffered in the SRQ/crossbar queue
+        (hard crash: queue contents are volatile chip state).  Senders
+        blocked on a full queue are admitted and dropped too -- posted
+        semantics already completed their stores.  Returns the number of
+        packets discarded."""
+        n = 0
+        while True:
+            ok, pkt = self.posted_q.try_get()
+            if not ok:
+                break
+            self._pool.recycle(pkt)
+            n += 1
+        return n
+
     # ------------------------------------------------------------------
     # Fabric-side processing
     # ------------------------------------------------------------------

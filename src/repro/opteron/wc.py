@@ -204,6 +204,15 @@ class WriteCombiner:
         self._buffers.clear()
         return ops
 
+    def discard(self) -> int:
+        """Drop every open buffer *without* emitting flush ops (hard
+        crash: combining buffers are core-private SRAM, and their
+        contents never reached the fabric).  Returns the number of
+        buffered-but-never-posted bytes lost."""
+        lost = sum(sum(buf.valid) for buf in self._buffers.values())
+        self._buffers.clear()
+        return lost
+
     @property
     def open_lines(self) -> Tuple[int, ...]:
         return tuple(self._buffers.keys())

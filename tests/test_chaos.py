@@ -17,8 +17,9 @@ invariants the recovery machinery promises:
 * **determinism** -- the same seed replays to the identical outcome.
 """
 
+import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 import pytest
 
@@ -80,7 +81,9 @@ def run_chaos(topo_factory, plan: FaultPlan,
     cl.sim.features.adaptive_fidelity = fidelity
     cl.sim.features.flow_fidelity = fidelity
     cl.boot()
-    FaultInjector(cl, plan).arm()
+    # Seeded random plans may legally collide (kill a link twice, flap a
+    # crashed node's link); skip-mode drops those deterministically.
+    FaultInjector(cl, plan).arm(on_conflict="skip")
     rank_a, rank_b = endpoints(cl) if endpoints is not None else (0, 1)
     ep_a = cl.library(rank_a).connect(rank_b)
     ep_b = cl.library(rank_b).connect(rank_a)
@@ -415,6 +418,177 @@ def test_chaos_sweep(seed, fidelity):
 
 
 # ---------------------------------------------------------------------------
+# Crash/rejoin resynchronization under sustained load (epoch handshake).
+#
+# Unlike the plain chaos harness above -- whose workload gives up on the
+# first TransportError -- this one models an application that *retries*:
+# crash windows are drawn longer than the send deadline, so the sender's
+# peer-dead verdict is guaranteed to fire and recovery must go through
+# the in-band HELLO/HELLO-ACK session handshake.  No test here ever
+# calls the deprecated ``Endpoint.revive()``.
+# ---------------------------------------------------------------------------
+
+REJOIN_MSGS = 40
+REJOIN_BYTES = 128
+REJOIN_HORIZON_NS = 4e7
+REJOIN_SEND_RETRIES = 16
+REJOIN_RECV_RETRIES = 400
+
+
+def rejoin_payload(i: int, nbytes: int = REJOIN_BYTES) -> bytes:
+    """Self-identifying payload: the message index rides in the first
+    four bytes, so delivery can be checked as a *set* of indices --
+    retry-after-landed sends legally duplicate."""
+    return i.to_bytes(4, "little") + bytes([i % 251]) * (nbytes - 4)
+
+
+@dataclass
+class RejoinOutcome:
+    indices: Set[int] = field(default_factory=set)
+    duplicates: int = 0
+    corrupt: int = 0
+    tx_retries: int = 0
+    rx_retries: int = 0
+    tx_failed: List[int] = field(default_factory=list)
+    tx_done: bool = False
+    rx_done: bool = False
+    faults: dict = field(default_factory=dict)
+    end_ns: float = 0.0
+    bytes_received: int = 0
+    received_bytes_total: int = 0
+    session_epochs: Tuple[int, int] = (0, 0)
+
+    def fingerprint(self) -> Tuple:
+        return (tuple(sorted(self.indices)), self.duplicates,
+                self.tx_retries, self.rx_retries,
+                tuple(sorted(self.faults.items())), self.end_ns)
+
+
+def make_rejoin_plan(seed: int) -> FaultPlan:
+    """1-3 crash/rejoin pairs with outage windows that straddle the send
+    deadline (1e5..8e5 ns vs a 3e5 ns deadline), alternating victims so
+    both the sender's and the receiver's crash paths get exercised.
+    Windows are sequential by construction, so the plan is conflict-free."""
+    rng = random.Random(0xBEEF ^ seed)
+    plan = FaultPlan()
+    t = 4_000.0 + rng.random() * 4_000.0
+    for k in range(1 + rng.randrange(3)):
+        victim = rng.randrange(2) if k else 1
+        window = 100_000.0 + rng.random() * 700_000.0
+        plan.add(t, FaultKind.NODE_CRASH, victim)
+        plan.add(t + window, FaultKind.NODE_WARM_RESET, victim)
+        t += window + 200_000.0 + rng.random() * 300_000.0
+    return plan
+
+
+def run_rejoin_chaos(seed: int, n_msgs: int = REJOIN_MSGS) -> RejoinOutcome:
+    cfg = MsgConfig(send_deadline_ns=3e5, recv_deadline_ns=5e5,
+                    retransmit_base_ns=50_000.0)
+    cl = TCCluster(chain(2), msg_cfg=cfg, memory_bytes=64 * MiB)
+    cl.boot()
+    FaultInjector(cl, make_rejoin_plan(seed)).arm(on_conflict="skip")
+    ep_a = cl.library(0).connect(1)
+    ep_b = cl.library(1).connect(0)
+    out = RejoinOutcome()
+
+    def tx(_proc=None):
+        for i in range(n_msgs):
+            for _attempt in range(REJOIN_SEND_RETRIES):
+                try:
+                    yield from ep_a.send(rejoin_payload(i))
+                    break
+                except TransportError:
+                    out.tx_retries += 1
+            else:
+                out.tx_failed.append(i)
+        out.tx_done = True
+
+    def rx(_proc=None):
+        attempts = 0
+        while len(out.indices) < n_msgs and attempts < REJOIN_RECV_RETRIES:
+            attempts += 1
+            try:
+                msg = yield from ep_b.recv()
+            except TransportError:
+                out.rx_retries += 1
+                continue
+            i = int.from_bytes(msg[:4], "little")
+            if bytes(msg) != rejoin_payload(i):
+                out.corrupt += 1
+            elif i in out.indices:
+                out.duplicates += 1
+            else:
+                out.indices.add(i)
+            out.received_bytes_total += len(msg)
+        out.rx_done = True
+
+    cl.sim.process(tx(), name="rejoin-tx")
+    cl.sim.process(rx(), name="rejoin-rx")
+    cl.run(REJOIN_HORIZON_NS)
+    out.faults = {k: v for k, v in fault_counters(cl.sim).as_dict().items()
+                  if v}
+    out.end_ns = cl.sim.now
+    out.bytes_received = ep_b.stats.bytes_received
+    out.session_epochs = (ep_a.session_epoch, ep_b.session_epoch)
+    return out
+
+
+def check_rejoin_oracles(out: RejoinOutcome,
+                         n_msgs: int = REJOIN_MSGS) -> None:
+    # No deadlock: both retry loops came to a verdict before the horizon.
+    assert out.tx_done, "sender wedged across crash/rejoin"
+    assert out.rx_done, "receiver wedged across crash/rejoin"
+    # Gap-free delivery through every crash: the full index set arrived
+    # (duplicates from retry-after-landed sends are legal and invisible).
+    assert not out.tx_failed, (
+        f"messages {out.tx_failed} never sent despite retries")
+    assert out.indices == set(range(n_msgs)), (
+        f"lost messages: {sorted(set(range(n_msgs)) - out.indices)}")
+    assert out.corrupt == 0
+    # Byte conservation: endpoint accounting matches what rx consumed.
+    assert out.bytes_received == out.received_bytes_total
+    # The fault plan actually crashed and rejoined nodes.
+    assert out.faults.get("node_crashes", 0) >= 1
+    assert out.faults.get("node_crashes") == out.faults.get("node_rejoins")
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_rejoin_chaos_fast(seed):
+    """Tier-1 subset: eight seeded crash/rejoin-under-load scenarios."""
+    out = run_rejoin_chaos(seed)
+    check_rejoin_oracles(out)
+
+
+def test_rejoin_handshake_actually_fires():
+    """At least one fast seed must recover through the epoch handshake
+    (not just ride through on link retransmit) -- otherwise the sweep
+    proves nothing about resynchronization."""
+    resets = 0
+    for seed in range(8):
+        out = run_rejoin_chaos(seed)
+        resets += out.faults.get("session_resets", 0)
+        if resets:
+            assert max(out.session_epochs) >= 1
+            break
+    assert resets >= 1, "no seed ever exercised the reconnect handshake"
+
+
+def test_rejoin_chaos_replays_identically():
+    a = run_rejoin_chaos(5)
+    b = run_rejoin_chaos(5)
+    assert a.fingerprint() == b.fingerprint()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(50))
+def test_rejoin_chaos_sweep(seed):
+    """The acceptance sweep: 50 seeded crash/rejoin plans under
+    sustained load, all oracles, zero manual ``revive()`` calls."""
+    out = run_rejoin_chaos(seed)
+    check_rejoin_oracles(out)
+
+
+# ---------------------------------------------------------------------------
 # Collectives under faults
 # ---------------------------------------------------------------------------
 
@@ -440,7 +614,7 @@ def test_allreduce_through_link_flap_fidelity_identical():
         plan = FaultPlan()
         for at, link, dur in plan_events:
             plan.add(at, FaultKind.LINK_FLAP, link, duration_ns=dur)
-        FaultInjector(cl, plan).arm()
+        FaultInjector(cl, plan).arm(on_conflict="skip")
         n = cl.nranks
         comms = [Communicator.for_cluster(cl, r) for r in range(n)]
         assert comms[0].ring_single_hop

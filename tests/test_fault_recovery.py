@@ -295,3 +295,53 @@ def test_bring_down_during_training_window_recovers_with_next_retrain():
     sim.run()
     assert ev.ok
     assert link.state == LinkState.ACTIVE
+
+
+# ---------------------------------------------------------------------------
+# Route-table pressure flood: MMIO interval overflow degrades to a fatal
+# route vector instead of raising out of the injector.
+# ---------------------------------------------------------------------------
+
+def _flooded_cluster(topo, targets, spacing_ns=1_000.0):
+    from repro.cluster import TCCluster
+    from repro.faults import FaultInjector, FaultKind, FaultPlan
+
+    # arm() schedules at_ns relative to now (post-boot).
+    plan = FaultPlan()
+    for k, tgt in enumerate(targets):
+        plan.add(spacing_ns * (k + 1), FaultKind.LINK_KILL, tgt)
+    cl = TCCluster(topo, memory_bytes=16 * MiB).boot()
+    inj = FaultInjector(cl, plan)
+    inj.arm()
+    cl.run(until=cl.sim.now + spacing_ns * (len(targets) + 4))
+    return cl, inj
+
+
+def test_route_pressure_flood_survives_interval_overflow():
+    """torus3d(4,4,4) with six chosen link kills overflows the 16-entry
+    MMIO interval budget on at least one supernode; the default injector
+    route manager must flood a fatal route vector and keep running
+    instead of raising RouteError."""
+    from repro.topology import torus3d
+
+    cl, inj = _flooded_cluster(torus3d(4, 4, 4),
+                               [103, 77, 122, 91, 149, 55])
+    fc = fault_counters(cl.sim)
+    assert len(inj.fired) == 6
+    assert fc.pressure_floods >= 1
+    assert fc.fatal_broadcasts >= fc.pressure_floods
+    assert inj.routes.pressure_flooded, "no supernode was floored"
+
+
+@pytest.mark.slow
+def test_route_pressure_flood_torus8_multi_kill():
+    """torus3d(8,8,8) regression: three early link kills floor exactly
+    the three touched supernodes (one fatal broadcast each) and the
+    simulation keeps running past the plan."""
+    from repro.topology import torus3d
+
+    cl, inj = _flooded_cluster(torus3d(8, 8, 8), [0, 1, 2])
+    fc = fault_counters(cl.sim)
+    assert fc.pressure_floods == 3
+    assert fc.fatal_broadcasts == 3
+    assert inj.routes.pressure_flooded == [0, 64, 448]
